@@ -1,0 +1,189 @@
+//! Raw record decoding: 24-bit time unwrap and tag-to-name matching.
+
+use hwprof_profiler::{RawRecord, TIME_MASK};
+use hwprof_tagfile::{TagFile, TagKind};
+
+/// Index into the symbol table.
+pub type SymId = u32;
+
+/// The symbol table: one entry per tag-file name.
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    names: Vec<String>,
+    cswitch: Vec<bool>,
+}
+
+impl Symbols {
+    /// Builds a symbol table from a tag file.
+    pub fn from_tagfile(tf: &TagFile) -> Self {
+        let mut s = Symbols::default();
+        for e in tf.entries() {
+            s.names.push(e.name.clone());
+            s.cswitch.push(e.kind == TagKind::ContextSwitch);
+        }
+        s
+    }
+
+    /// The name of `sym`.
+    pub fn name(&self, sym: SymId) -> &str {
+        &self.names[sym as usize]
+    }
+
+    /// True if `sym` is a context-switch function (`!` modifier).
+    pub fn is_cswitch(&self, sym: SymId) -> bool {
+        self.cswitch[sym as usize]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Finds a symbol by name (report post-processing).
+    pub fn lookup(&self, name: &str) -> Option<SymId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as SymId)
+    }
+}
+
+/// What one event means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvKind {
+    /// Function entry.
+    Entry(SymId),
+    /// Function exit.
+    Exit(SymId),
+    /// Inline point.
+    Inline(SymId),
+    /// Tag not present in the name file.
+    Unknown(u16),
+}
+
+/// A decoded event: unwrapped absolute microsecond time plus meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Absolute microseconds from the first event of the session.
+    pub t: u64,
+    /// Meaning.
+    pub kind: EvKind,
+}
+
+/// Unwraps the 24-bit hardware timestamps into absolute microseconds.
+///
+/// "the analysis software only uses the timer value as an interval time,
+/// not as an absolute time" — each consecutive delta is taken modulo
+/// 2^24, so any gap under ~16.8 s is exact and information is lost (the
+/// paper's stated limit) only beyond that.
+pub fn unwrap_times(records: &[RawRecord]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(records.len());
+    let mut abs = 0u64;
+    let mut prev: Option<u32> = None;
+    for r in records {
+        let t = r.time & TIME_MASK;
+        if let Some(p) = prev {
+            let delta = (t.wrapping_sub(p)) & TIME_MASK;
+            abs += u64::from(delta);
+        }
+        prev = Some(t);
+        out.push(abs);
+    }
+    out
+}
+
+/// Decodes a capture session against the name/tag file.
+///
+/// Returns the symbol table and the event stream; unknown tags are kept
+/// (they count toward the header's tag total and are diagnosable) but
+/// take no part in reconstruction.
+pub fn decode(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>) {
+    let syms = Symbols::from_tagfile(tf);
+    // Precompute the tag -> meaning map once (captures run to 10^5+
+    // events; resolving each against the file would be quadratic).
+    let mut map: std::collections::HashMap<u16, EvKind> = std::collections::HashMap::new();
+    for (i, e) in tf.entries().iter().enumerate() {
+        let sym = i as SymId;
+        match e.kind {
+            TagKind::Inline => {
+                map.insert(e.tag, EvKind::Inline(sym));
+            }
+            TagKind::Function | TagKind::ContextSwitch => {
+                map.insert(e.tag, EvKind::Entry(sym));
+                map.insert(e.tag + 1, EvKind::Exit(sym));
+            }
+        }
+    }
+    let times = unwrap_times(records);
+    let events = records
+        .iter()
+        .zip(times)
+        .map(|(r, t)| Event {
+            t,
+            kind: map.get(&r.tag).copied().unwrap_or(EvKind::Unknown(r.tag)),
+        })
+        .collect();
+    (syms, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwprof_profiler::RawRecord;
+
+    #[test]
+    fn unwrap_handles_wraps() {
+        let recs = [
+            RawRecord {
+                tag: 0,
+                time: 0xFF_FFF0,
+            },
+            RawRecord {
+                tag: 0,
+                time: 0xFF_FFFF,
+            },
+            RawRecord {
+                tag: 0,
+                time: 0x00_0005,
+            }, // wrapped
+            RawRecord {
+                tag: 0,
+                time: 0x00_0007,
+            },
+        ];
+        assert_eq!(unwrap_times(&recs), vec![0, 15, 21, 23]);
+    }
+
+    #[test]
+    fn unwrap_first_event_is_zero() {
+        let recs = [RawRecord {
+            tag: 1,
+            time: 123_456,
+        }];
+        assert_eq!(unwrap_times(&recs), vec![0]);
+    }
+
+    #[test]
+    fn decode_classifies_events() {
+        let tf = hwprof_tagfile::parse("f/100\nswtch/200!\nMARK/300=\n").unwrap();
+        let recs = [
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 300, time: 5 },
+            RawRecord { tag: 101, time: 9 },
+            RawRecord { tag: 201, time: 12 },
+            RawRecord { tag: 999, time: 20 },
+        ];
+        let (syms, ev) = decode(&recs, &tf);
+        assert!(matches!(ev[0].kind, EvKind::Entry(s) if syms.name(s) == "f"));
+        assert!(matches!(ev[1].kind, EvKind::Inline(s) if syms.name(s) == "MARK"));
+        assert!(matches!(ev[2].kind, EvKind::Exit(s) if syms.name(s) == "f"));
+        assert!(matches!(ev[3].kind, EvKind::Exit(s) if syms.is_cswitch(s)));
+        assert!(matches!(ev[4].kind, EvKind::Unknown(999)));
+        assert_eq!(ev[3].t, 12);
+    }
+}

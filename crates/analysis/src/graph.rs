@@ -1,0 +1,59 @@
+//! Call-graph export (future work: "graphically representing the code
+//! path").
+
+use crate::recon::Reconstruction;
+
+/// Renders the reconstructed call graph as Graphviz dot, edges labelled
+/// with call counts, nodes with net µs.
+pub fn to_dot(r: &Reconstruction) -> String {
+    let mut out = String::from("digraph kernel {\n  rankdir=LR;\n  node [shape=box];\n");
+    for s in 0..r.stats.len() {
+        let a = r.stats[s];
+        if a.calls == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{}\\n{} us net / {} calls\"];\n",
+            r.syms.name(s as u32),
+            r.syms.name(s as u32),
+            a.net,
+            a.calls
+        ));
+    }
+    let mut edges: Vec<(&(u32, u32), &u64)> = r.edges.iter().collect();
+    edges.sort();
+    for (&(from, to), &count) in edges {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+            r.syms.name(from),
+            r.syms.name(to),
+            count
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::events::decode;
+    use crate::recon::analyze;
+    use hwprof_profiler::RawRecord;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let tf = hwprof_tagfile::parse("outer/100\ninner/102\n").unwrap();
+        let recs = [
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 102, time: 5 },
+            RawRecord { tag: 103, time: 9 },
+            RawRecord { tag: 101, time: 20 },
+        ];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        let dot = super::to_dot(&r);
+        assert!(dot.contains("\"outer\" -> \"inner\" [label=\"1\"]"));
+        assert!(dot.starts_with("digraph kernel {"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

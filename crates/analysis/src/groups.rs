@@ -1,0 +1,98 @@
+//! Subsystem groupings (future work: "groupings of functions into
+//! separate subsystems").
+
+use crate::recon::Reconstruction;
+
+/// Aggregate for one subsystem group.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupAgg {
+    /// Group label.
+    pub name: String,
+    /// Total calls.
+    pub calls: u64,
+    /// Total net µs.
+    pub net: u64,
+    /// Functions contributing.
+    pub functions: usize,
+}
+
+/// Groups per-function net time by `grouper` (function name -> group
+/// label), sorted by net time descending.
+pub fn group_summary(r: &Reconstruction, grouper: impl Fn(&str) -> String) -> Vec<GroupAgg> {
+    let mut map: std::collections::BTreeMap<String, GroupAgg> = Default::default();
+    for s in 0..r.stats.len() {
+        let a = r.stats[s];
+        if a.calls == 0 {
+            continue;
+        }
+        let g = grouper(r.syms.name(s as u32));
+        let e = map.entry(g.clone()).or_default();
+        e.name = g;
+        e.calls += a.calls;
+        e.net += a.net;
+        e.functions += 1;
+    }
+    let mut out: Vec<GroupAgg> = map.into_values().collect();
+    out.sort_by_key(|g| std::cmp::Reverse(g.net));
+    out
+}
+
+/// A grouper for the 386BSD symbol names used in this reproduction.
+pub fn bsd_subsystem(name: &str) -> String {
+    let net = ["we", "ip", "tcp", "udp", "in_", "so", "sb", "m_", "nfs"];
+    let vm = ["pmap", "vm_", "kmem", "vmspace"];
+    let fs = [
+        "ffs", "b", "wd", "getblk", "biowait", "biodone", "vn_", "namei", "lookup",
+    ];
+    let spl = ["spl"];
+    if spl.iter().any(|p| name.starts_with(p)) {
+        "spl".into()
+    } else if name == "bcopy" || name == "bcopyb" || name == "bzero" {
+        "copy".into()
+    } else if net.iter().any(|p| name.starts_with(p)) {
+        "net".into()
+    } else if vm.iter().any(|p| name.starts_with(p)) {
+        "vm".into()
+    } else if fs.iter().any(|p| name.starts_with(p)) {
+        "fs".into()
+    } else {
+        "kern".into()
+    }
+}
+
+/// Renders the group table.
+pub fn render(groups: &[GroupAgg], total_net: u64) -> String {
+    let mut out = String::from("  Net us   # calls  fns   % of run  subsystem\n");
+    for g in groups {
+        let pct = if total_net == 0 {
+            0.0
+        } else {
+            g.net as f64 * 100.0 / total_net as f64
+        };
+        out.push_str(&format!(
+            "{:>9} {:>9} {:>4}   {:>6.2}%   {}\n",
+            g.net, g.calls, g.functions, pct, g.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bsd_subsystem;
+
+    #[test]
+    fn bsd_grouper_classifies_paper_functions() {
+        assert_eq!(bsd_subsystem("splnet"), "spl");
+        assert_eq!(bsd_subsystem("bcopy"), "copy");
+        assert_eq!(bsd_subsystem("in_cksum"), "net");
+        assert_eq!(bsd_subsystem("werint"), "net");
+        assert_eq!(bsd_subsystem("soreceive"), "net");
+        assert_eq!(bsd_subsystem("pmap_pte"), "vm");
+        assert_eq!(bsd_subsystem("kmem_alloc"), "vm");
+        assert_eq!(bsd_subsystem("ffs_write"), "fs");
+        assert_eq!(bsd_subsystem("bread"), "fs");
+        assert_eq!(bsd_subsystem("tsleep"), "kern");
+        assert_eq!(bsd_subsystem("malloc"), "kern");
+    }
+}

@@ -1,0 +1,35 @@
+//! The analysis software: "the raw data is then uploaded to a UNIX host.
+//! The data is processed by matching the event data (with the microsecond
+//! time values) with the function names as listed in the name file."
+//!
+//! Two reports are produced, exactly as in the paper:
+//!
+//! * a per-function **summary** "sorted by highest to lowest net CPU
+//!   usage, headed by an overall summary of the profiling data"
+//!   (Figure 3), and
+//! * a **code path trace** showing nested calls in real time with
+//!   accumulated and net times, context switches flagged (Figure 4).
+//!
+//! The analyzer must cope with everything the hardware throws at it:
+//! 24-bit timestamp wraps (interval arithmetic only), captures that start
+//! mid-call (orphan exits), and the control-flow discontinuities at
+//! `swtch` — "it appears a different subroutine is being exited than was
+//! called" — which it resolves by keeping one reconstructed stack per
+//! thread of control and matching the resumed stack by its next
+//! unmatched exit.
+
+pub mod events;
+pub mod graph;
+pub mod groups;
+pub mod hist;
+#[cfg(test)]
+mod proptests;
+pub mod recon;
+pub mod report;
+pub mod trace;
+pub mod whatif;
+
+pub use events::{decode, unwrap_times, EvKind, Event, SymId, Symbols};
+pub use recon::{analyze, analyze_sessions, FnAgg, Reconstruction};
+pub use report::summary_report;
+pub use trace::{trace_report, TraceStyle};

@@ -1,0 +1,138 @@
+//! Property tests on the reconstruction invariants.
+
+use proptest::prelude::*;
+
+use crate::events::{decode, EvKind};
+use crate::recon::analyze;
+use hwprof_profiler::RawRecord;
+use hwprof_tagfile::{TagFile, TagKind};
+
+/// Generates a structurally valid single-thread capture: random nesting
+/// of `nfns` functions with strictly increasing times.
+fn balanced_stream(nfns: u16, ops: Vec<(u8, u8)>) -> (TagFile, Vec<RawRecord>) {
+    let mut tf = TagFile::new(100);
+    let tags: Vec<u16> = (0..nfns)
+        .map(|i| {
+            tf.assign(&format!("f{i}"), TagKind::Function)
+                .expect("fresh")
+        })
+        .collect();
+    let mut records = Vec::new();
+    let mut stack: Vec<u16> = Vec::new();
+    let mut t = 0u64;
+    for (sel, dt) in ops {
+        t += u64::from(dt) + 1;
+        if sel % 3 == 0 && !stack.is_empty() {
+            // Exit the innermost frame.
+            let tag = stack.pop().expect("checked");
+            records.push(RawRecord::latch(tag + 1, t));
+        } else if stack.len() < 12 {
+            let tag = tags[sel as usize % tags.len()];
+            stack.push(tag);
+            records.push(RawRecord::latch(tag, t));
+        }
+    }
+    // Close everything.
+    for tag in stack.into_iter().rev() {
+        t += 3;
+        records.push(RawRecord::latch(tag + 1, t));
+    }
+    (tf, records)
+}
+
+proptest! {
+    /// For any balanced stream: every entry pairs, no unmatched exits,
+    /// net times sum exactly to elapsed wall time (a closed single
+    /// thread has no idle), and per-function net <= elapsed.
+    #[test]
+    fn balanced_streams_account_exactly(
+        nfns in 1u16..8,
+        ops in prop::collection::vec((0u8..=255, 0u8..40), 2..300),
+    ) {
+        let (tf, records) = balanced_stream(nfns, ops);
+        prop_assume!(records.len() >= 2);
+        let (syms, events) = decode(&records, &tf);
+        let r = analyze(&syms, &events);
+        prop_assert_eq!(r.unmatched_exits, 0);
+        prop_assert_eq!(r.unknown_tags, 0);
+        prop_assert_eq!(r.open_at_end, 0);
+        prop_assert_eq!(r.idle, 0);
+        // Outermost frames' elapsed covers the whole run; net times of
+        // all functions partition the covered time.
+        let total_net: u64 = r.stats.iter().map(|a| a.net).sum();
+        // Time before the first entry's frame and gaps between
+        // top-level frames are uncovered; net can never exceed wall.
+        prop_assert!(total_net <= r.total_elapsed);
+        for a in &r.stats {
+            prop_assert!(a.net <= a.elapsed);
+            if a.calls > 0 {
+                prop_assert!(a.max_net >= a.min_net);
+                prop_assert!(a.net >= a.min_net);
+            }
+        }
+        // Entry/exit counts in the raw stream match reconstructed calls.
+        let mut entries = 0u64;
+        for e in &events {
+            if matches!(e.kind, EvKind::Entry(_)) {
+                entries += 1;
+            }
+        }
+        let calls: u64 = r.stats.iter().map(|a| a.calls).sum();
+        prop_assert_eq!(calls, entries);
+    }
+
+    /// Adding a constant offset to every hardware timestamp (mod 2^24,
+    /// as the free-running counter would) changes nothing: the analysis
+    /// uses intervals only.
+    #[test]
+    fn time_origin_is_irrelevant(
+        nfns in 1u16..6,
+        ops in prop::collection::vec((0u8..=255, 0u8..30), 2..150),
+        offset in 0u32..0x00FF_FFFF,
+    ) {
+        let (tf, records) = balanced_stream(nfns, ops);
+        prop_assume!(records.len() >= 2);
+        let shifted: Vec<RawRecord> = records
+            .iter()
+            .map(|r| RawRecord {
+                tag: r.tag,
+                time: (r.time + offset) & 0x00FF_FFFF,
+            })
+            .collect();
+        let (syms, e1) = decode(&records, &tf);
+        let (_, e2) = decode(&shifted, &tf);
+        let r1 = analyze(&syms, &e1);
+        let r2 = analyze(&syms, &e2);
+        prop_assert_eq!(r1.total_elapsed, r2.total_elapsed);
+        for (a, b) in r1.stats.iter().zip(&r2.stats) {
+            prop_assert_eq!(a.calls, b.calls);
+            prop_assert_eq!(a.net, b.net);
+            prop_assert_eq!(a.elapsed, b.elapsed);
+        }
+    }
+
+    /// Truncating a capture (the overflow LED stopping the board early)
+    /// never breaks the analyzer: it reports open frames and all
+    /// completed calls still account correctly.
+    #[test]
+    fn truncation_is_tolerated(
+        nfns in 1u16..6,
+        ops in prop::collection::vec((0u8..=255, 0u8..30), 4..200),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let (tf, records) = balanced_stream(nfns, ops);
+        prop_assume!(records.len() >= 4);
+        let keep = 2 + (records.len() - 2) * cut_ppm as usize / 1_000_000;
+        let cut = &records[..keep];
+        let (syms, events) = decode(cut, &tf);
+        let r = analyze(&syms, &events);
+        // No crash, and the books balance: every entry either completed
+        // or is reported open.
+        let entries = events
+            .iter()
+            .filter(|e| matches!(e.kind, EvKind::Entry(_)))
+            .count() as u64;
+        let calls: u64 = r.stats.iter().map(|a| a.calls).sum();
+        prop_assert_eq!(calls + r.open_at_end, entries);
+    }
+}

@@ -1,0 +1,671 @@
+//! Call-path reconstruction from the decoded event stream.
+//!
+//! "Identification of function entry and exit points allow a code path
+//! trace to be constructed with timing information at each call and
+//! return point."  The hard part is the kernel's multiplexed control
+//! flow: at a `!`-tagged function (`swtch`) "a discontinuous change in
+//! the subroutine call/return model" occurs.  The reconstructor keeps one
+//! stack per thread of control; at each `swtch` exit it decides which
+//! suspended stack resumed by looking ahead for the first unmatched
+//! function exit (the resumed process must unwind through the function
+//! that called `swtch`).
+
+use crate::events::{EvKind, Event, SymId, Symbols};
+
+/// Aggregate statistics for one function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FnAgg {
+    /// Completed entry/exit pairs.
+    pub calls: u64,
+    /// Inline-trigger hits (for `=` tags).
+    pub inline_hits: u64,
+    /// Accumulated elapsed (inclusive) microseconds.
+    pub elapsed: u64,
+    /// Accumulated net (exclusive) microseconds.
+    pub net: u64,
+    /// Largest per-call net.
+    pub max_net: u64,
+    /// Smallest per-call net.
+    pub min_net: u64,
+}
+
+/// One rendered-trace element (the trace report works from these).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceItem {
+    /// Event time (µs from session start).
+    pub t: u64,
+    /// Nesting depth at the event.
+    pub depth: usize,
+    /// What happened.
+    pub kind: ItemKind,
+}
+
+/// Trace element kinds.
+#[derive(Debug, Clone, Copy)]
+pub enum ItemKind {
+    /// A call; times are patched in when the frame closes.
+    Call {
+        /// Function.
+        sym: SymId,
+        /// Net µs (valid when `closed`).
+        net: u64,
+        /// Elapsed µs (valid when `closed`).
+        elapsed: u64,
+        /// Subcalls observed.
+        children: u32,
+        /// A context switch occurred inside this frame.
+        spans_switch: bool,
+        /// The frame closed before the capture ended.
+        closed: bool,
+    },
+    /// An explicit return line (context-switch frames and frames that
+    /// span a switch get these).
+    Return {
+        /// Function (None renders as a bare `<-`).
+        sym: Option<SymId>,
+        /// Net µs.
+        net: u64,
+        /// Elapsed µs.
+        elapsed: u64,
+    },
+    /// An inline trigger.
+    Inline {
+        /// The point.
+        sym: SymId,
+    },
+    /// Control switched to a different thread of control.
+    SwitchIn {
+        /// The resumed stack had never been seen before (process birth).
+        birth: bool,
+    },
+    /// Boundary between concatenated capture sessions.
+    SessionBreak,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    sym: SymId,
+    entered: u64,
+    child: u64,
+    item: usize,
+    children: u32,
+    spans_switch: bool,
+    is_cswitch: bool,
+}
+
+#[derive(Debug, Default)]
+struct PStack {
+    frames: Vec<Frame>,
+}
+
+/// The full result of reconstruction.
+#[derive(Debug)]
+pub struct Reconstruction {
+    /// Symbol table used.
+    pub syms: Symbols,
+    /// Per-symbol aggregates.
+    pub stats: Vec<FnAgg>,
+    /// Wall-clock µs covered (sum over sessions).
+    pub total_elapsed: u64,
+    /// Idle µs (inside `swtch`, less device interrupts).
+    pub idle: u64,
+    /// Total hardware events.
+    pub tags: usize,
+    /// Completed `swtch` intervals that changed the thread of control.
+    pub context_switches: u64,
+    /// Completed `swtch` frames (any resume).
+    pub swtch_calls: u64,
+    /// Exits with no matching open frame (capture started mid-call).
+    pub unmatched_exits: u64,
+    /// Tags absent from the name file.
+    pub unknown_tags: u64,
+    /// Frames still open when the capture ended.
+    pub open_at_end: u64,
+    /// Threads of control first seen at a `swtch` exit.
+    pub births: u64,
+    /// Trace elements (across all sessions, with breaks).
+    pub trace: Vec<TraceItem>,
+    /// Call-graph edges: (caller, callee) -> completed calls.
+    pub edges: std::collections::HashMap<(SymId, SymId), u64>,
+    /// Number of capture sessions analyzed.
+    pub sessions: usize,
+}
+
+impl Reconstruction {
+    /// Accumulated non-idle µs.
+    pub fn run_time(&self) -> u64 {
+        self.total_elapsed.saturating_sub(self.idle)
+    }
+
+    /// Aggregate for a named function, if present.
+    pub fn agg(&self, name: &str) -> Option<FnAgg> {
+        self.syms.lookup(name).map(|s| self.stats[s as usize])
+    }
+
+    /// Net µs of `name` as a fraction of total elapsed (the `% real`
+    /// column).
+    pub fn pct_real(&self, name: &str) -> f64 {
+        let a = self.agg(name).unwrap_or_default();
+        if self.total_elapsed == 0 {
+            0.0
+        } else {
+            a.net as f64 * 100.0 / self.total_elapsed as f64
+        }
+    }
+
+    /// Net µs of `name` as a fraction of non-idle time (`% net`).
+    pub fn pct_net(&self, name: &str) -> f64 {
+        let a = self.agg(name).unwrap_or_default();
+        let run = self.run_time();
+        if run == 0 {
+            0.0
+        } else {
+            a.net as f64 * 100.0 / run as f64
+        }
+    }
+}
+
+struct Recon {
+    syms: Symbols,
+    stats: Vec<FnAgg>,
+    trace: Vec<TraceItem>,
+    active: PStack,
+    suspended: Vec<PStack>,
+    in_switch: bool,
+    switch_start: u64,
+    intr_in_switch: u64,
+    out: Reconstruction,
+}
+
+/// Outcome of the forward scan after a `swtch` exit.
+enum ResumeId {
+    /// First unmatched exit: the resumed stack unwinds through this.
+    Exit(SymId),
+    /// A new switch began before any unmatched exit — only a freshly
+    /// born thread of control runs entries-only to its next switch.
+    NextSwitch,
+    /// The capture ended first; ambiguous.
+    End,
+}
+
+/// Scans forward from a `swtch` exit for the function the resumed stack
+/// unwinds through: the first exit not matching a post-resume entry.
+fn identify_resume(events: &[Event], syms: &Symbols) -> ResumeId {
+    let mut depth = 0i64;
+    for ev in events {
+        match ev.kind {
+            EvKind::Entry(s) => {
+                if syms.is_cswitch(s) {
+                    return ResumeId::NextSwitch;
+                }
+                depth += 1;
+            }
+            EvKind::Exit(s) => {
+                if depth > 0 {
+                    depth -= 1;
+                } else {
+                    return ResumeId::Exit(s);
+                }
+            }
+            EvKind::Inline(_) | EvKind::Unknown(_) => {}
+        }
+    }
+    ResumeId::End
+}
+
+impl Recon {
+    fn new(syms: Symbols) -> Self {
+        let n = syms.len();
+        Recon {
+            out: Reconstruction {
+                syms: syms.clone(),
+                stats: vec![FnAgg::default(); n],
+                total_elapsed: 0,
+                idle: 0,
+                tags: 0,
+                context_switches: 0,
+                swtch_calls: 0,
+                unmatched_exits: 0,
+                unknown_tags: 0,
+                open_at_end: 0,
+                births: 0,
+                trace: Vec::new(),
+                edges: std::collections::HashMap::new(),
+                sessions: 0,
+            },
+            stats: vec![FnAgg::default(); n],
+            trace: Vec::new(),
+            syms,
+            active: PStack::default(),
+            suspended: Vec::new(),
+            in_switch: false,
+            switch_start: 0,
+            intr_in_switch: 0,
+        }
+    }
+
+    fn push(&mut self, sym: SymId, t: u64, is_cswitch: bool) {
+        let depth = self.active.frames.len();
+        let item = self.trace.len();
+        self.trace.push(TraceItem {
+            t,
+            depth,
+            kind: ItemKind::Call {
+                sym,
+                net: 0,
+                elapsed: 0,
+                children: 0,
+                spans_switch: false,
+                closed: false,
+            },
+        });
+        self.active.frames.push(Frame {
+            sym,
+            entered: t,
+            child: 0,
+            item,
+            children: 0,
+            spans_switch: false,
+            is_cswitch,
+        });
+    }
+
+    /// Pops the active top frame at time `t`, accounting and patching
+    /// its trace item.
+    fn pop(&mut self, t: u64) -> Frame {
+        let f = self.active.frames.pop().expect("caller checked");
+        let elapsed = t.saturating_sub(f.entered);
+        let net = elapsed.saturating_sub(f.child);
+        if let Some(parent) = self.active.frames.last_mut() {
+            parent.child += elapsed;
+            parent.children += 1;
+        }
+        if f.is_cswitch {
+            self.out.swtch_calls += 1;
+        } else {
+            let a = &mut self.stats[f.sym as usize];
+            a.calls += 1;
+            a.elapsed += elapsed;
+            a.net += net;
+            a.max_net = a.max_net.max(net);
+            a.min_net = if a.calls == 1 {
+                net
+            } else {
+                a.min_net.min(net)
+            };
+            // An interrupt completing directly under an open swtch frame
+            // during the idle window is run time, not idle.
+            if self.in_switch && self.active.frames.last().is_some_and(|p| p.is_cswitch) {
+                self.intr_in_switch += elapsed;
+            }
+        }
+        if let ItemKind::Call {
+            net: n,
+            elapsed: e,
+            children,
+            spans_switch,
+            closed,
+            ..
+        } = &mut self.trace[f.item].kind
+        {
+            *n = net;
+            *e = elapsed;
+            *children = f.children;
+            *spans_switch = f.spans_switch;
+            *closed = true;
+        }
+        // Call-graph edge.
+        if let Some(parent) = self.active.frames.last() {
+            *self.out.edges.entry((parent.sym, f.sym)).or_insert(0) += 1;
+        }
+        // Explicit return lines for frames the renderer may want to
+        // close visually: switch spanners (named, with times) and
+        // non-leaf frames (bare).
+        if !f.is_cswitch && (f.spans_switch || f.children > 0) {
+            self.trace.push(TraceItem {
+                t,
+                depth: self.active.frames.len(),
+                kind: ItemKind::Return {
+                    sym: if f.spans_switch { Some(f.sym) } else { None },
+                    net,
+                    elapsed,
+                },
+            });
+        }
+        f
+    }
+
+    fn handle_cswitch_exit(&mut self, t: u64, rest: &[Event]) {
+        // Close the idle window.
+        if self.in_switch {
+            let window = t.saturating_sub(self.switch_start);
+            self.out.idle += window.saturating_sub(self.intr_in_switch);
+            self.in_switch = false;
+        }
+        let wanted = identify_resume(rest, &self.syms);
+        let top_is_swtch = |st: &PStack| st.frames.last().is_some_and(|f| f.is_cswitch);
+        let matches_exit = |st: &PStack, x: SymId| -> bool {
+            top_is_swtch(st) && st.frames.len().checked_sub(2).map(|i| st.frames[i].sym) == Some(x)
+        };
+        // A thread suspended at top level (a lone swtch frame) resumes to
+        // entries-only execution, indistinguishable from a birth except
+        // that its stack exists.
+        let lone_swtch = |st: &PStack| st.frames.len() == 1 && top_is_swtch(st);
+        let choice: Choice = match wanted {
+            ResumeId::Exit(x) => {
+                if matches_exit(&self.active, x) {
+                    Choice::Active
+                } else if let Some(i) = self.suspended.iter().rposition(|s| matches_exit(s, x)) {
+                    Choice::Suspended(i)
+                } else {
+                    Choice::Birth
+                }
+            }
+            ResumeId::NextSwitch => {
+                if lone_swtch(&self.active) {
+                    Choice::Active
+                } else if let Some(i) = self.suspended.iter().rposition(lone_swtch) {
+                    Choice::Suspended(i)
+                } else {
+                    Choice::Birth
+                }
+            }
+            ResumeId::End => {
+                if top_is_swtch(&self.active) {
+                    Choice::Active
+                } else if let Some(i) = self.suspended.iter().rposition(top_is_swtch) {
+                    Choice::Suspended(i)
+                } else {
+                    Choice::Birth
+                }
+            }
+        };
+        let depth_for_item = |frames: &PStack| frames.frames.len().saturating_sub(1);
+        match choice {
+            Choice::Active => {
+                self.trace.push(TraceItem {
+                    t,
+                    depth: depth_for_item(&self.active),
+                    kind: ItemKind::Return {
+                        sym: self.active.frames.last().map(|f| f.sym),
+                        net: 0,
+                        elapsed: 0,
+                    },
+                });
+                self.pop(t);
+            }
+            Choice::Suspended(i) => {
+                let resumed = self.suspended.remove(i);
+                let old = std::mem::replace(&mut self.active, resumed);
+                self.suspended.push(old);
+                self.out.context_switches += 1;
+                // Everything still open on the resumed stack spans a
+                // switch.
+                for f in &mut self.active.frames {
+                    f.spans_switch = true;
+                }
+                self.trace.push(TraceItem {
+                    t,
+                    depth: 0,
+                    kind: ItemKind::SwitchIn { birth: false },
+                });
+                self.trace.push(TraceItem {
+                    t,
+                    depth: depth_for_item(&self.active),
+                    kind: ItemKind::Return {
+                        sym: self.active.frames.last().map(|f| f.sym),
+                        net: 0,
+                        elapsed: 0,
+                    },
+                });
+                self.pop(t);
+            }
+            Choice::Birth => {
+                let old = std::mem::take(&mut self.active);
+                if !old.frames.is_empty() {
+                    self.suspended.push(old);
+                }
+                self.out.context_switches += 1;
+                self.out.births += 1;
+                self.trace.push(TraceItem {
+                    t,
+                    depth: 0,
+                    kind: ItemKind::SwitchIn { birth: true },
+                });
+            }
+        }
+    }
+
+    fn session(&mut self, events: &[Event]) {
+        self.out.sessions += 1;
+        self.out.tags += events.len();
+        if let (Some(first), Some(last)) = (events.first(), events.last()) {
+            self.out.total_elapsed += last.t - first.t;
+        }
+        for (i, ev) in events.iter().enumerate() {
+            match ev.kind {
+                EvKind::Entry(sym) => {
+                    let cs = self.syms.is_cswitch(sym);
+                    self.push(sym, ev.t, cs);
+                    if cs {
+                        self.in_switch = true;
+                        self.switch_start = ev.t;
+                        self.intr_in_switch = 0;
+                    }
+                }
+                EvKind::Exit(sym) => {
+                    if self.syms.is_cswitch(sym) {
+                        self.handle_cswitch_exit(ev.t, &events[i + 1..]);
+                    } else if self
+                        .active
+                        .frames
+                        .last()
+                        .is_some_and(|f| f.sym == sym && !f.is_cswitch)
+                    {
+                        self.pop(ev.t);
+                    } else {
+                        self.out.unmatched_exits += 1;
+                    }
+                }
+                EvKind::Inline(sym) => {
+                    self.stats[sym as usize].inline_hits += 1;
+                    self.trace.push(TraceItem {
+                        t: ev.t,
+                        depth: self.active.frames.len(),
+                        kind: ItemKind::Inline { sym },
+                    });
+                }
+                EvKind::Unknown(_) => self.out.unknown_tags += 1,
+            }
+        }
+        // Session teardown: open frames are incomplete calls.
+        let open: usize =
+            self.active.frames.len() + self.suspended.iter().map(|s| s.frames.len()).sum::<usize>();
+        self.out.open_at_end += open as u64;
+        self.active = PStack::default();
+        self.suspended.clear();
+        self.in_switch = false;
+        self.trace.push(TraceItem {
+            t: events.last().map_or(0, |e| e.t),
+            depth: 0,
+            kind: ItemKind::SessionBreak,
+        });
+    }
+
+    fn finish(mut self) -> Reconstruction {
+        self.out.stats = self.stats;
+        self.out.trace = self.trace;
+        self.out
+    }
+}
+
+enum Choice {
+    Active,
+    Suspended(usize),
+    Birth,
+}
+
+/// Analyzes one capture session.
+pub fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
+    analyze_sessions(syms, std::slice::from_ref(&events.to_vec()))
+}
+
+/// Analyzes several concatenated capture sessions (the paper's Figure 3
+/// header shows 28060 tags — more than one 16384-event RAM's worth).
+pub fn analyze_sessions(syms: &Symbols, sessions: &[Vec<Event>]) -> Reconstruction {
+    let mut r = Recon::new(syms.clone());
+    for s in sessions {
+        r.session(s);
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::decode;
+    use hwprof_profiler::RawRecord;
+    use hwprof_tagfile::parse;
+
+    fn rec(tag: u16, time: u32) -> RawRecord {
+        RawRecord { tag, time }
+    }
+
+    const TF: &str = "a/100\nb/102\nc/104\nswtch/200!\nMARK/300=\n";
+
+    #[test]
+    fn simple_nesting() {
+        let tf = parse(TF).unwrap();
+        // a[0..100] calling b[20..50].
+        let recs = [rec(100, 0), rec(102, 20), rec(103, 50), rec(101, 100)];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        let a = r.agg("a").unwrap();
+        assert_eq!(a.calls, 1);
+        assert_eq!(a.elapsed, 100);
+        assert_eq!(a.net, 70);
+        let b = r.agg("b").unwrap();
+        assert_eq!(b.net, 30);
+        assert_eq!(r.total_elapsed, 100);
+        assert_eq!(r.idle, 0);
+        assert_eq!(r.unmatched_exits, 0);
+    }
+
+    #[test]
+    fn context_switch_splits_stacks() {
+        let tf = parse(TF).unwrap();
+        // Process P: a -> b -> swtch (switch out at t=30).
+        // Process Q resumes: swtch exit, then exits c (its sleeper),
+        // runs a bit, re-enters swtch at t=90; P resumes, exits b and a.
+        let recs = [
+            // P
+            rec(100, 0),  // a enter
+            rec(102, 10), // b enter
+            rec(200, 30), // swtch enter (P out)
+            // Q was suspended before capture inside c -> swtch; its
+            // stack is unknown, so this resume is a birth.
+            rec(201, 40),  // swtch exit (Q in) -- birth
+            rec(105, 50),  // c exit (unmatched on fresh stack)
+            rec(104, 60),  // c enter
+            rec(105, 70),  // c exit
+            rec(200, 90),  // swtch enter (Q out)
+            rec(201, 95),  // swtch exit (P in)
+            rec(103, 120), // b exit
+            rec(101, 140), // a exit
+        ];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        // P's frames survived the switch.
+        let a = r.agg("a").unwrap();
+        assert_eq!(a.calls, 1);
+        assert_eq!(a.elapsed, 140);
+        let b = r.agg("b").unwrap();
+        assert_eq!(b.elapsed, 110); // 10..120, spanning the switch
+                                    // Q's completed c call counted; the stray first exit tolerated.
+        let c = r.agg("c").unwrap();
+        assert_eq!(c.calls, 1);
+        assert_eq!(c.net, 10);
+        assert_eq!(r.unmatched_exits, 1);
+        assert_eq!(r.births, 1);
+        assert!(r.context_switches >= 2);
+        // Idle: windows 30..40 and 90..95.
+        assert_eq!(r.idle, 15);
+        // b's net excludes the whole swtch interval 30..95.
+        assert_eq!(b.net, 110 - 65);
+    }
+
+    #[test]
+    fn interrupt_during_idle_is_not_idle() {
+        let tf = parse(TF).unwrap();
+        let recs = [
+            rec(100, 0),  // a enter
+            rec(200, 10), // swtch enter: idle starts
+            rec(104, 20), // c enter (device interrupt in idle loop)
+            rec(105, 45), // c exit
+            rec(201, 50), // swtch exit, same process resumes
+            rec(101, 60), // a exit
+        ];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        // Window is 40 us, of which 25 was the interrupt.
+        assert_eq!(r.idle, 15);
+        assert_eq!(r.agg("c").unwrap().net, 25);
+        assert_eq!(r.context_switches, 0, "same stack resumed");
+        assert_eq!(r.swtch_calls, 1);
+    }
+
+    #[test]
+    fn inline_tags_count_without_frames() {
+        let tf = parse(TF).unwrap();
+        let recs = [rec(100, 0), rec(300, 5), rec(300, 8), rec(101, 20)];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        assert_eq!(r.agg("MARK").unwrap().inline_hits, 2);
+        assert_eq!(r.agg("a").unwrap().net, 20);
+    }
+
+    #[test]
+    fn capture_starting_mid_call_is_tolerated() {
+        let tf = parse(TF).unwrap();
+        let recs = [rec(103, 5), rec(101, 10), rec(100, 20), rec(101, 30)];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        assert_eq!(r.unmatched_exits, 2);
+        assert_eq!(r.agg("a").unwrap().calls, 1);
+        assert_eq!(r.agg("a").unwrap().net, 10);
+    }
+
+    #[test]
+    fn open_frames_at_end_are_not_counted() {
+        let tf = parse(TF).unwrap();
+        let recs = [rec(100, 0), rec(102, 10)];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        assert_eq!(r.agg("a").unwrap().calls, 0);
+        assert_eq!(r.open_at_end, 2);
+    }
+
+    #[test]
+    fn sessions_accumulate() {
+        let tf = parse(TF).unwrap();
+        let s1 = [rec(100, 0), rec(101, 50)];
+        let s2 = [rec(100, 0), rec(101, 70)];
+        let (syms, e1) = decode(&s1, &tf);
+        let (_, e2) = decode(&s2, &tf);
+        let r = analyze_sessions(&syms, &[e1, e2]);
+        assert_eq!(r.agg("a").unwrap().calls, 2);
+        assert_eq!(r.agg("a").unwrap().elapsed, 120);
+        assert_eq!(r.total_elapsed, 120);
+        assert_eq!(r.sessions, 2);
+    }
+
+    #[test]
+    fn unknown_tags_are_counted_not_fatal() {
+        let tf = parse(TF).unwrap();
+        let recs = [rec(100, 0), rec(999, 5), rec(101, 10)];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        assert_eq!(r.unknown_tags, 1);
+        assert_eq!(r.agg("a").unwrap().calls, 1);
+    }
+}

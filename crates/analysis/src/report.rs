@@ -1,0 +1,119 @@
+//! The function summary report (Figure 3).
+
+use crate::events::SymId;
+use crate::recon::Reconstruction;
+
+fn sec_us(t: u64) -> String {
+    format!("{} sec {} us", t / 1_000_000, t % 1_000_000)
+}
+
+/// Renders the per-function summary "sorted by highest to lowest net CPU
+/// usage, headed by an overall summary of the profiling data", in the
+/// paper's Figure 3 layout.
+///
+/// `top` limits the number of body rows (`None` = all).
+pub fn summary_report(r: &Reconstruction, top: Option<usize>) -> String {
+    let mut out = String::new();
+    let total = r.total_elapsed;
+    let run = r.run_time();
+    let pct = |x: u64, of: u64| {
+        if of == 0 {
+            0.0
+        } else {
+            x as f64 * 100.0 / of as f64
+        }
+    };
+    out.push_str(&format!(
+        "Elapsed time = {} ({} tags)\n",
+        sec_us(total),
+        r.tags
+    ));
+    out.push_str(&format!(
+        "Accumulated run time = {} ({:.2}%)\n",
+        sec_us(run),
+        pct(run, total)
+    ));
+    out.push_str(&format!(
+        "Idle time = {} ({:5.2}%)\n",
+        sec_us(r.idle),
+        pct(r.idle, total)
+    ));
+    out.push_str("------------------------------------------------------------------------\n");
+    out.push_str("  Elapsed      Net  # calls    (max/avg/min)    % real   % net\n");
+    let mut order: Vec<SymId> = (0..r.stats.len() as SymId)
+        .filter(|&s| r.stats[s as usize].calls > 0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        r.stats[b as usize]
+            .net
+            .cmp(&r.stats[a as usize].net)
+            .then_with(|| r.syms.name(a).cmp(r.syms.name(b)))
+    });
+    if let Some(n) = top {
+        order.truncate(n);
+    }
+    for s in order {
+        let a = r.stats[s as usize];
+        let avg = a.net / a.calls.max(1);
+        out.push_str(&format!(
+            "{:>9} {:>8} {:>8}  {:>16}  {:>7.2}% {:>7.2}%   {}\n",
+            a.elapsed,
+            a.net,
+            a.calls,
+            format!("({}/{}/{})", a.max_net, avg, a.min_net),
+            pct(a.net, total),
+            pct(a.net, run),
+            r.syms.name(s)
+        ));
+    }
+    // Inline points, if any fired.
+    let inlines: Vec<SymId> = (0..r.stats.len() as SymId)
+        .filter(|&s| r.stats[s as usize].inline_hits > 0)
+        .collect();
+    if !inlines.is_empty() {
+        out.push_str("\nInline points:\n");
+        for s in inlines {
+            out.push_str(&format!(
+                "{:>9} hits   {} =\n",
+                r.stats[s as usize].inline_hits,
+                r.syms.name(s)
+            ));
+        }
+    }
+    if r.unmatched_exits + r.unknown_tags + r.open_at_end > 0 {
+        out.push_str(&format!(
+            "\n({} unmatched exits, {} unknown tags, {} frames open at end)\n",
+            r.unmatched_exits, r.unknown_tags, r.open_at_end
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::events::decode;
+    use crate::recon::analyze;
+    use hwprof_profiler::RawRecord;
+
+    #[test]
+    fn report_has_header_and_sorted_rows() {
+        let tf = hwprof_tagfile::parse("hot/100\ncold/102\n").unwrap();
+        let recs = [
+            RawRecord { tag: 102, time: 0 },
+            RawRecord { tag: 103, time: 10 },
+            RawRecord { tag: 100, time: 20 },
+            RawRecord {
+                tag: 101,
+                time: 920,
+            },
+        ];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        let rep = super::summary_report(&r, None);
+        assert!(rep.contains("Elapsed time = 0 sec 920 us (4 tags)"));
+        assert!(rep.contains("% real"));
+        let hot_pos = rep.find("hot").unwrap();
+        let cold_pos = rep.find("cold").unwrap();
+        assert!(hot_pos < cold_pos, "sorted by net descending");
+    }
+}

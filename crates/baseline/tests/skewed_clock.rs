@@ -1,0 +1,92 @@
+//! The pseudo-random (skewed) profiling clock: "If a psuedo-random or
+//! skewed clock is available, then it is possible to improve the clock
+//! profiling so that other clock-related activity is not missed."
+//!
+//! The workload here does its kernel work immediately after each clock
+//! tick (a timeout-driven pattern).  A sampler synchronised with that
+//! same clock always fires *before* the work runs and never sees it; a
+//! skewed statclock lands at random phases and does.
+
+use hwprof_kernel386::funcs::KFn;
+use hwprof_kernel386::kernel::KernelConfig;
+use hwprof_kernel386::sim::SimBuilder;
+use hwprof_kernel386::syscall::{sys_open, sys_sleep, sys_sync, sys_write};
+
+/// Runs the tick-synchronised write workload under a sampler.
+fn run(statclock: Option<(u64, bool)>) -> hwprof_kernel386::kernel::Kernel {
+    let config = KernelConfig {
+        statclock_hz: statclock.map(|(hz, _)| hz),
+        statclock_skewed: statclock.is_some_and(|(_, s)| s),
+        ..KernelConfig::default()
+    };
+    let sim = SimBuilder::new().disk().config(config).build();
+    sim.spawn(
+        "ticker",
+        Box::new(|ctx| {
+            ctx.k.sampling.enabled = true;
+            let fd = sys_open(ctx, "/tick/file", true);
+            let block = vec![0x3Cu8; 4096];
+            for _ in 0..120 {
+                // Wake on the clock edge, then do kernel work right
+                // after the tick (the synchronised pattern).
+                sys_sleep(ctx, 1);
+                sys_write(ctx, fd, &block);
+            }
+            sys_sync(ctx);
+        }),
+    );
+    sim.run()
+}
+
+fn write_path_samples(k: &hwprof_kernel386::kernel::Kernel) -> u64 {
+    [
+        KFn::SysWrite,
+        KFn::VnWrite,
+        KFn::FfsWrite,
+        KFn::FfsBalloc,
+        KFn::Bcopy,
+        KFn::Copyin,
+        KFn::Getblk,
+        KFn::Bawrite,
+        KFn::WdStrategy,
+        KFn::WdStart,
+        KFn::Syscall,
+    ]
+    .iter()
+    .map(|f| k.sampling.counts[f.idx()])
+    .sum()
+}
+
+#[test]
+fn synchronized_sampler_misses_tick_driven_work() {
+    let k = run(None); // sampling at hardclock itself
+    assert!(k.sampling.total >= 100, "samples {}", k.sampling.total);
+    // The write path really consumed time...
+    let write_us = k.trace.truth(KFn::FfsWrite).gross / 40;
+    assert!(write_us > 10_000, "write path {write_us} us");
+    // ...but the tick-synchronised sampler barely ever lands in it.
+    let hits = write_path_samples(&k);
+    assert!(
+        hits * 20 <= k.sampling.total,
+        "synchronized sampler saw {hits}/{} in the write path",
+        k.sampling.total
+    );
+}
+
+#[test]
+fn skewed_statclock_sees_the_hidden_work() {
+    let sync = run(None);
+    let skewed = run(Some((100, true)));
+    let sync_share = write_path_samples(&sync) as f64 / sync.sampling.total.max(1) as f64;
+    let skew_share = write_path_samples(&skewed) as f64 / skewed.sampling.total.max(1) as f64;
+    // The skewed clock attributes a clearly larger share to the
+    // tick-driven work.
+    assert!(
+        skew_share > sync_share + 0.02,
+        "skewed {skew_share:.3} vs synchronized {sync_share:.3}"
+    );
+    // And its rate stays ~100 Hz on average despite the jitter.
+    let secs = skewed.now_us() as f64 / 1e6;
+    let rate = skewed.sampling.total as f64 / secs;
+    assert!((60.0..150.0).contains(&rate), "rate {rate:.0} Hz");
+}

@@ -1,0 +1,66 @@
+//! Analysis-software performance: decoding and reconstructing a full
+//! RAM load (the paper's "uploaded to a UNIX host" step).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hwprof_analysis::{analyze, decode, summary_report, trace_report, TraceStyle};
+use hwprof_profiler::RawRecord;
+use hwprof_tagfile::{TagFile, TagKind};
+
+/// Builds a synthetic but structurally valid 16384-event capture:
+/// nested calls three deep with periodic context switches.
+fn synthetic_capture() -> (TagFile, Vec<RawRecord>) {
+    let mut tf = TagFile::new(500);
+    let fns: Vec<u16> = (0..40)
+        .map(|i| {
+            tf.assign(&format!("fn{i}"), TagKind::Function)
+                .expect("fresh file")
+        })
+        .collect();
+    let swtch = tf.assign("swtch", TagKind::ContextSwitch).expect("fresh");
+    let mut records = Vec::with_capacity(16384);
+    let mut t = 0u64;
+    let mut i = 0usize;
+    while records.len() + 8 < 16384 {
+        let a = fns[i % fns.len()];
+        let b = fns[(i * 7 + 3) % fns.len()];
+        let c = fns[(i * 13 + 5) % fns.len()];
+        for tag in [a, b, c, c + 1, b + 1] {
+            t += 7;
+            records.push(RawRecord::latch(tag, t));
+        }
+        if i % 11 == 10 {
+            t += 9;
+            records.push(RawRecord::latch(swtch, t));
+            t += 25;
+            records.push(RawRecord::latch(swtch + 1, t));
+        }
+        t += 4;
+        records.push(RawRecord::latch(a + 1, t));
+        i += 1;
+    }
+    (tf, records)
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let (tf, records) = synthetic_capture();
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("decode_16k", |b| {
+        b.iter(|| decode(&records, &tf));
+    });
+    let (syms, events) = decode(&records, &tf);
+    g.bench_function("reconstruct_16k", |b| {
+        b.iter(|| analyze(&syms, &events));
+    });
+    let r = analyze(&syms, &events);
+    g.bench_function("summary_report", |b| {
+        b.iter(|| summary_report(&r, None));
+    });
+    g.bench_function("trace_report_16k", |b| {
+        b.iter(|| trace_report(&r, &TraceStyle::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Library performance: the board's capture path and upload formats.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hwprof_machine::EpromTap;
+use hwprof_profiler::{
+    parse_raw, ram_chip_view, reassemble, serialize_raw, Profiler, RamChip, RawRecord,
+};
+
+fn bench_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capture");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("board_on_read", |b| {
+        let mut board = Profiler::stock();
+        board.set_switch(true);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 7;
+            board.on_read(502, t);
+            if board.stored() >= 16_000 {
+                board.clear();
+                board.set_switch(true);
+            }
+        });
+    });
+    g.finish();
+
+    let records: Vec<RawRecord> = (0..16384u32)
+        .map(|i| RawRecord::latch((i % 3000) as u16, u64::from(i) * 11))
+        .collect();
+    let mut g = c.benchmark_group("upload");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("serialize_raw_16k", |b| {
+        b.iter(|| serialize_raw(&records));
+    });
+    let bytes = serialize_raw(&records);
+    g.bench_function("parse_raw_16k", |b| {
+        b.iter(|| parse_raw(&bytes).expect("well formed"));
+    });
+    g.bench_function("zif_roundtrip_16k", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |recs| {
+                let images: [Vec<u8>; 5] = [
+                    ram_chip_view(&recs, RamChip::TagLow),
+                    ram_chip_view(&recs, RamChip::TagHigh),
+                    ram_chip_view(&recs, RamChip::TimeLow),
+                    ram_chip_view(&recs, RamChip::TimeMid),
+                    ram_chip_view(&recs, RamChip::TimeHigh),
+                ];
+                reassemble(&images)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

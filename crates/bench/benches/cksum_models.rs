@@ -1,0 +1,24 @@
+//! Wire-format performance: the real Internet checksum and frame
+//! builders the simulation computes for every packet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hwprof_kernel386::wire_fmt::{build_ipv4, build_tcp, cksum, IPPROTO_TCP, PC_IP, REMOTE_IP};
+
+fn bench_wire(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..1460u32).map(|i| (i % 251) as u8).collect();
+    let mut g = c.benchmark_group("wire_fmt");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("cksum_1460", |b| {
+        b.iter(|| cksum(&payload));
+    });
+    g.bench_function("build_tcp_frame_1460", |b| {
+        b.iter(|| {
+            let seg = build_tcp(REMOTE_IP, PC_IP, 2000, 5001, 7, 0, 0x10, &payload);
+            build_ipv4(IPPROTO_TCP, REMOTE_IP, PC_IP, &seg)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end simulation performance: real wall-clock cost of running
+//! the paper's workloads (how fast the simulator simulates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwprof::{scenarios, Experiment};
+use hwprof_profiler::BoardConfig;
+use std::time::Duration;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.bench_function("network_receive_64k_profiled", |b| {
+        b.iter(|| {
+            Experiment::new()
+                .profile_modules(&["net", "locore", "kern", "sys"])
+                .board(BoardConfig::wide())
+                .scenario(scenarios::network_receive(64 * 1024, true))
+                .run()
+        });
+    });
+    g.bench_function("forkexec_cycle_profiled", |b| {
+        b.iter(|| {
+            Experiment::new()
+                .profile_modules(&["vm", "kern", "sys", "locore"])
+                .board(BoardConfig::wide())
+                .scenario(scenarios::forkexec_loop(1))
+                .run()
+        });
+    });
+    g.bench_function("clock_idle_1s_unprofiled", |b| {
+        b.iter(|| {
+            Experiment::new()
+                .profile_none()
+                .unarmed()
+                .scenario(scenarios::clock_idle(100))
+                .run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

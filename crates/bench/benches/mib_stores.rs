@@ -1,0 +1,63 @@
+//! The case-study data structures head to head: wall-clock performance
+//! of the linear MIB vs the from-scratch B-tree (the simulated CPU-cycle
+//! comparison lives in `repro_snmp`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwprof_snmpmib::agent::{populate, populate_oid};
+use hwprof_snmpmib::{BtreeMib, LinearMib, Mib};
+
+fn bench_mib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mib_get");
+    for size in [100u32, 1000, 4000] {
+        let mut lin = LinearMib::new();
+        populate(&mut lin, size);
+        let mut bt = BtreeMib::new();
+        populate(&mut bt, size);
+        let probes: Vec<_> = (0..size).step_by(17).map(populate_oid).collect();
+        g.bench_with_input(BenchmarkId::new("linear", size), &lin, |b, m| {
+            b.iter(|| {
+                let mut hits = 0;
+                for p in &probes {
+                    if m.get(p).0.is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("btree", size), &bt, |b, m| {
+            b.iter(|| {
+                let mut hits = 0;
+                for p in &probes {
+                    if m.get(p).0.is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("mib_walk");
+    {
+        let size = 1000u32;
+        let mut bt = BtreeMib::new();
+        populate(&mut bt, size);
+        g.bench_with_input(BenchmarkId::new("btree_getnext_walk", size), &bt, |b, m| {
+            b.iter(|| {
+                let mut cur = populate_oid(0);
+                let mut n = 0;
+                while let (Some((k, _)), _) = m.get_next(&cur) {
+                    cur = k;
+                    n += 1;
+                }
+                n
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mib);
+criterion_main!(benches);

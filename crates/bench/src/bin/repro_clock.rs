@@ -1,0 +1,79 @@
+//! E5 — the clock interrupt study: "the regular clock tick interrupt
+//! took on average 94 microseconds to execute [...] The interrupt code
+//! overhead to [emulate software interrupts] is around 24 microseconds
+//! per interrupt", and in the network test "9% of the total CPU time was
+//! spent in splnet, splx, splhigh and spl0".
+
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, pct, row, us};
+
+fn main() {
+    banner("E5", "clock interrupts, AST emulation, spl overhead");
+    // An idle machine: every interrupt is a clock tick.
+    let capture = Experiment::new()
+        .profile_all()
+        .board(BoardConfig::wide())
+        .scenario(scenarios::clock_idle(300))
+        .run();
+    let r = capture.analyze();
+    let isa = r.agg("ISAINTR").expect("ISAINTR profiled");
+    let tick = isa.elapsed / isa.calls.max(1);
+    row(
+        &format!("clock tick total ({} ticks)", isa.calls),
+        &us(94),
+        &us(tick),
+        (70..130).contains(&tick),
+    );
+    let ast = capture.kernel.machine.cost.ast_emulation / 40;
+    row(
+        "AST emulation share per interrupt",
+        &us(24),
+        &us(ast),
+        ast == 24,
+    );
+    let hc = r.agg("hardclock").expect("hardclock");
+    row(
+        "hardclock body",
+        "(within tick)",
+        &us(hc.elapsed / hc.calls.max(1)),
+        hc.calls >= 290,
+    );
+    let gs = r.agg("gatherstats").expect("gatherstats");
+    row(
+        "gatherstats runs every tick",
+        "1/tick",
+        &format!("{}/{}", gs.calls, hc.calls),
+        gs.calls == hc.calls,
+    );
+    // The 9%-in-spl claim belongs to the network test.
+    let net = Experiment::new()
+        .profile_modules(&["net", "locore", "kern", "sys"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::network_receive(180 * 1024, true))
+        .run();
+    let rn = net.analyze();
+    let spl: f64 = ["splnet", "splx", "spl0", "splhigh", "splimp"]
+        .iter()
+        .map(|f| rn.pct_real(f))
+        .sum();
+    row(
+        "spl* share of CPU in the network test",
+        "~9%",
+        &pct(spl),
+        (3.0..15.0).contains(&spl),
+    );
+    let splnet = rn.agg("splnet").expect("splnet");
+    row(
+        "splnet per call",
+        &us(11),
+        &us(splnet.net / splnet.calls.max(1)),
+        (6..20).contains(&(splnet.net / splnet.calls.max(1))),
+    );
+    row(
+        "splnet called a great deal",
+        "2474 calls/capture",
+        &format!("{} calls", splnet.calls),
+        splnet.calls > 500,
+    );
+}

@@ -1,0 +1,50 @@
+//! E13 — the 68020 case study's other half: "in one case the recoding of
+//! an Ethernet driver doubled the network throughput."  The ablation:
+//! naive byte-loop copy vs recoded wide-burst copy.
+
+use hwprof::kernel386::kernel::KernelConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, row};
+
+fn throughput(word_copy: bool) -> (f64, u64) {
+    let capture = Experiment::new()
+        .profile_modules(&["net", "locore"])
+        .config(KernelConfig {
+            driver_word_copy: word_copy,
+            ..KernelConfig::default()
+        })
+        .scenario(scenarios::network_receive(150 * 1024, true))
+        .run();
+    let k = &capture.kernel;
+    let bytes = k.net.pcbs.first().map_or(0, |p| u64::from(p.tcb.rcv_nxt));
+    let busy_us = (k.machine.now - k.sched.idle_cycles) / 40;
+    let r = capture.analyze();
+    let copy_net = r.agg("bcopy").map_or(0, |a| a.net);
+    (bytes as f64 / busy_us.max(1) as f64, copy_net)
+}
+
+fn main() {
+    banner("E13", "Ethernet driver recode: byte loop vs wide bursts");
+    let (naive, naive_copy) = throughput(false);
+    let (recoded, recoded_copy) = throughput(true);
+    println!("\n  naive driver:   {naive:.3} bytes per busy us  (bcopy net {naive_copy} us)");
+    println!("  recoded driver: {recoded:.3} bytes per busy us  (bcopy net {recoded_copy} us)\n");
+    let gain = recoded / naive;
+    row(
+        "driver copy cost reduction",
+        "~3x",
+        &format!("{:.1}x", naive_copy as f64 / recoded_copy.max(1) as f64),
+        naive_copy > recoded_copy * 2,
+    );
+    row(
+        "throughput per CPU-second",
+        "~2x on the 68020",
+        &format!("{gain:.2}x"),
+        gain > 1.2,
+    );
+    println!(
+        "\n  (On this 386 target the checksum dilutes the copy's share;\n   \
+         the paper's 2x was on the embedded board where the copy\n   \
+         dominated the whole path.)"
+    );
+}

@@ -1,0 +1,96 @@
+//! E1 — Figure 3: the function summary of a saturated TCP receive.
+//!
+//! Paper: CPU ~99% busy; bcopy 33.25% real / 889 calls, in_cksum 30.51%,
+//! splnet 5.30%, soreceive with huge elapsed but ~3.3% net, then splx,
+//! malloc, werint, weget, free, westart.  Two RAM loads were
+//! concatenated (28060 tags).
+
+use hwprof::scenarios::network_receive;
+use hwprof::{Capture, Experiment};
+use hwprof_analysis::summary_report;
+use hwprof_bench::{banner, pct, row};
+use hwprof_profiler::BoardConfig;
+
+fn main() {
+    banner("E1 / Figure 3", "saturated TCP receive: function summary");
+    // Two captures, concatenated like the paper's 28060-tag run.
+    let run = |seed: u64| {
+        let config = hwprof_kernel386::kernel::KernelConfig {
+            seed,
+            ..Default::default()
+        };
+        Experiment::new()
+            .profile_modules(&["net", "locore", "kern", "sys"])
+            .config(config)
+            .board(BoardConfig::wide())
+            .scenario(network_receive(420 * 1024, true))
+            .run()
+    };
+    let a = run(1);
+    let b = run(2);
+    let r = Capture::analyze_concatenated(&[&a, &b]);
+    println!();
+    println!("{}", summary_report(&r, Some(14)));
+    println!();
+    // Busy fraction over the captured window (the paper's "Accumulated
+    // run time" header line).
+    let busy = r.run_time() as f64 * 100.0 / r.total_elapsed.max(1) as f64;
+    row("CPU busy", "~99%", &pct(busy), busy > 90.0);
+    let bcopy = r.pct_real("bcopy");
+    row(
+        "bcopy % real",
+        "33.25%",
+        &pct(bcopy),
+        (22.0..45.0).contains(&bcopy),
+    );
+    let cksum = r.pct_real("in_cksum");
+    row(
+        "in_cksum % real",
+        "30.51%",
+        &pct(cksum),
+        (20.0..45.0).contains(&cksum),
+    );
+    let spl: f64 = ["splnet", "splx", "spl0", "splhigh", "splimp"]
+        .iter()
+        .map(|f| r.pct_real(f))
+        .sum();
+    row(
+        "spl* combined % real",
+        "~9%",
+        &pct(spl),
+        (4.0..15.0).contains(&spl),
+    );
+    let sor = r.agg("soreceive").unwrap_or_default();
+    row(
+        "soreceive elapsed >> net",
+        "442ms vs 16ms",
+        &format!("{}us vs {}us", sor.elapsed, sor.net),
+        sor.elapsed > sor.net * 5,
+    );
+    // Ranking: bcopy and in_cksum are #1 and #2.
+    let mut tops: Vec<(&str, u64)> = ["bcopy", "in_cksum", "splnet", "soreceive", "malloc"]
+        .iter()
+        .map(|f| (*f, r.agg(f).unwrap_or_default().net))
+        .collect();
+    tops.sort_by_key(|x| std::cmp::Reverse(x.1));
+    row(
+        "top-2 net consumers",
+        "bcopy, in_cksum",
+        &format!("{}, {}", tops[0].0, tops[1].0),
+        (tops[0].0 == "bcopy" || tops[0].0 == "in_cksum")
+            && (tops[1].0 == "bcopy" || tops[1].0 == "in_cksum"),
+    );
+    row(
+        "tags captured (two RAM loads)",
+        "28060",
+        &r.tags.to_string(),
+        r.tags > 10_000,
+    );
+    let drops = a.kernel.machine.wd.as_ref().map_or(0, |c| c.missed);
+    row(
+        "receiver cannot keep up (frames dropped)",
+        ">0",
+        &drops.to_string(),
+        drops > 0,
+    );
+}

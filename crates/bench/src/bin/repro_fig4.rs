@@ -1,0 +1,59 @@
+//! E2 — Figure 4: the real-time code path trace of packet receipt with
+//! a context switch into another process's `falloc` path.
+
+use hwprof::analysis::{trace_report, TraceStyle};
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, row};
+
+fn main() {
+    banner(
+        "E2 / Figure 4",
+        "code path trace: packet arrival + context switch",
+    );
+    let capture = Experiment::new()
+        .profile_all()
+        .board(BoardConfig::wide())
+        .scenario(scenarios::single_packet_trace())
+        .run();
+    let r = capture.analyze();
+    let trace = trace_report(&r, &TraceStyle::default());
+    // Find and print the window around the first weintr.
+    let lines: Vec<&str> = trace.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| l.contains("-> weintr"))
+        .unwrap_or(0);
+    println!();
+    for l in lines.iter().skip(start.saturating_sub(2)).take(48) {
+        println!("{l}");
+    }
+    println!();
+    for (what, needle) in [
+        ("ISAINTR frames the interrupt", "-> ISAINTR"),
+        ("driver chain weintr -> werint -> weread", "-> werint"),
+        ("the big driver bcopy", "-> bcopy"),
+        ("soft interrupt ipintr", "-> ipintr"),
+        ("splnet inside ipintr", "-> splnet"),
+        ("in_cksum on the segment", "-> in_cksum"),
+        ("tcp_input with in_pcblookup", "-> in_pcblookup"),
+        ("spl0 at interrupt exit", "-> spl0"),
+        ("context switch flagged", "Context switch in"),
+        ("swtch exit shown", "<- swtch"),
+        ("falloc path on the other side", "-> falloc"),
+        ("fdalloc under falloc", "-> fdalloc"),
+        ("min inside fdalloc", "-> min"),
+        ("inline tags marked", "== MGET"),
+    ] {
+        row(
+            what,
+            "present",
+            if trace.contains(needle) {
+                "present"
+            } else {
+                "MISSING"
+            },
+            trace.contains(needle),
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! E3 — Figure 5 + the fork/exec timings: "it takes some 24 milliseconds
+//! to perform a vfork operation, and it takes about 28 milliseconds to
+//! perform an execve system call [...] pmap_pte is called 1053 times
+//! when a fork is executed, and a similar amount when an exec is done."
+
+use hwprof::analysis::summary_report;
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, ms, row};
+
+fn main() {
+    banner("E3 / Figure 5", "fork/exec: high cost subroutines");
+    let capture = Experiment::new()
+        .profile_modules(&["vm", "kern", "sys", "locore"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::forkexec_loop(4))
+        .run();
+    let r = capture.analyze();
+    println!();
+    println!("{}", summary_report(&r, Some(12)));
+
+    let vfork = r.agg("fork1").expect("fork1 profiled");
+    let execve = r.agg("execve").expect("execve profiled");
+    let vfork_avg = vfork.elapsed / vfork.calls.max(1);
+    let exec_avg = execve.elapsed / execve.calls.max(1);
+    row(
+        "vfork",
+        "24 ms",
+        &ms(vfork_avg),
+        (8_000..60_000).contains(&vfork_avg),
+    );
+    row(
+        "execve",
+        "28 ms",
+        &ms(exec_avg),
+        (8_000..60_000).contains(&exec_avg),
+    );
+    row(
+        "combined fork/exec",
+        "~52 ms",
+        &ms(vfork_avg + exec_avg),
+        (20_000..100_000).contains(&(vfork_avg + exec_avg)),
+    );
+    let pte = r.agg("pmap_pte").expect("pmap_pte");
+    let cycles = vfork.calls * 3; // fork + exec + exit walks
+    row(
+        "pmap_pte calls per fork-ish operation",
+        "~1053",
+        &format!("{}", pte.calls / cycles.max(1)),
+        (500..2000).contains(&(pte.calls / cycles.max(1))),
+    );
+    // Ranking: pmap_remove tops the net column; pmap_pte close behind.
+    let remove = r.agg("pmap_remove").expect("pmap_remove").net;
+    let pte_net = pte.net;
+    row(
+        "pmap_remove leads pmap module net time",
+        "28.2% of net",
+        &format!("{:.1}% of net", r.pct_net("pmap_remove")),
+        remove > 0,
+    );
+    row(
+        "pmap_pte a large second",
+        "10.6% of net",
+        &format!("{:.1}% of net", r.pct_net("pmap_pte")),
+        pte_net * 4 > remove,
+    );
+    // Over half of all run time in the VM subsystem.
+    let vm_funcs = [
+        "pmap_remove",
+        "pmap_pte",
+        "pmap_protect",
+        "pmap_enter",
+        "vm_fault",
+        "vm_page_lookup",
+        "vmspace_fork",
+        "kmem_alloc",
+        "bzero",
+    ];
+    let vm_pct: f64 = vm_funcs.iter().map(|f| r.pct_net(f)).sum();
+    row(
+        "VM subsystem share of run time",
+        ">50%",
+        &format!("{vm_pct:.1}%"),
+        vm_pct > 50.0,
+    );
+    row(
+        "faults stay modest (lazy mapping)",
+        "115 calls",
+        &format!("{} calls", r.agg("vm_fault").map_or(0, |a| a.calls)),
+        r.agg("vm_fault").map_or(0, |a| a.calls) < 400,
+    );
+}

@@ -1,0 +1,70 @@
+//! E6 — the filesystem/IDE study: reads 18-26 ms; write interrupts
+//! ~200 µs (149 µs of PIO transfer), arriving close together; CPU only
+//! ~28 % busy under heavy writes; ≥6 % of that in spl*.
+
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, ms, pct, row, us};
+
+fn main() {
+    banner("E6", "FFS + IDE: seek-bound throughput, buffered writes");
+    // Heavy sequential writes.
+    let w = Experiment::new()
+        .profile_modules(&["fs", "locore", "kern", "sys"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::fs_writer(160))
+        .run();
+    let rw = w.analyze();
+    let wdintr = rw.agg("wdintr").expect("wdintr profiled");
+    let per = wdintr.elapsed / wdintr.calls.max(1);
+    row(
+        &format!("write interrupt total ({} intrs)", wdintr.calls),
+        &us(200),
+        &us(per),
+        (150..260).contains(&per),
+    );
+    let pio = w.kernel.machine.cost.isa16_word * 256 / 40;
+    row(
+        "of which PIO transfer",
+        &us(149),
+        &us(pio),
+        (140..160).contains(&pio),
+    );
+    let busy = rw.run_time() as f64 * 100.0 / rw.total_elapsed.max(1) as f64;
+    row(
+        "CPU busy while writing",
+        "28%",
+        &pct(busy),
+        (12.0..45.0).contains(&busy),
+    );
+    let spl: f64 = ["splbio", "splx", "spl0", "splhigh"]
+        .iter()
+        .map(|f| rw.pct_net(f))
+        .sum();
+    row("spl* share of the busy time", ">=6%", &pct(spl), spl > 2.0);
+
+    // Scattered cold reads.
+    let r = Experiment::new()
+        .profile_modules(&["fs"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::fs_scattered_reads(36))
+        .run();
+    let rr = r.analyze();
+    // The second pass rereads the file cold (the cache was invalidated),
+    // so every bread is a real disk read.
+    let bread = rr.agg("bread").expect("bread profiled");
+    let read_us = bread.elapsed / bread.calls.max(1);
+    let read_ms = read_us / 1000;
+    row(
+        &format!("uncached 4K read ({} breads)", bread.calls),
+        "18-26 ms",
+        &ms(read_us),
+        (8..34).contains(&read_ms),
+    );
+    row(
+        "seeks dominate disc throughput",
+        "yes",
+        if read_ms >= 4 { "yes" } else { "no" },
+        read_ms >= 4,
+    );
+}

@@ -1,0 +1,86 @@
+//! E10 — board mechanics: "the Profiler RAM could be filled (a total of
+//! 16384 events) in as short a time as 300 milliseconds"; the overflow
+//! LED stops capture; the 24-bit 1 MHz counter wraps at ~16.8 s between
+//! events and "information is lost".
+
+use hwprof::experiment::Scenario;
+use hwprof::kernel386::syscall::sys_sleep;
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, ms, row};
+
+fn main() {
+    banner("E10", "board capacity, overflow, timer wrap");
+    // Fill a stock board under network load.
+    let capture = Experiment::new()
+        .profile_all()
+        .board(BoardConfig::default())
+        .scenario(scenarios::network_receive(300 * 1024, true))
+        .run();
+    row(
+        "overflow LED lit, capture stopped",
+        "yes",
+        if capture.overflowed { "yes" } else { "no" },
+        capture.overflowed,
+    );
+    row(
+        "events stored",
+        "16384",
+        &capture.records.len().to_string(),
+        capture.records.len() == 16384,
+    );
+    let r = capture.analyze();
+    row(
+        "time to fill the RAM under load",
+        "~300 ms (as short as)",
+        &ms(r.total_elapsed),
+        (150_000..1_200_000).contains(&r.total_elapsed),
+    );
+    row(
+        "triggers missed after overflow",
+        "> 0",
+        &capture.missed.to_string(),
+        capture.missed > 0,
+    );
+
+    // Timer wrap: a process sleeping 20 virtual seconds leaves a gap
+    // longer than the 24-bit counter can express, so the analysis
+    // underestimates the gap by exactly one wrap (16.777216 s).
+    let quiet = Scenario {
+        host: None,
+        disk: false,
+        spawn: Box::new(|sim| {
+            sim.spawn(
+                "long-sleeper",
+                Box::new(|ctx| {
+                    // Two bursts of activity separated by ~20 s of
+                    // nothing (clock module not profiled, so no events
+                    // in between).
+                    sys_sleep(ctx, 2000);
+                }),
+            );
+        }),
+    };
+    // Only the syscall layer (and the always-tagged swtch) is profiled,
+    // so nothing fires during the sleep and the gap exceeds the wrap.
+    let capture2 = Experiment::new()
+        .profile_modules(&["sys"])
+        .scenario(quiet)
+        .run();
+    let r2 = capture2.analyze();
+    let actual_us = capture2.kernel.now_us();
+    let wrap = 1u64 << 24;
+    row(
+        "real gap between events",
+        "~20 s",
+        &ms(actual_us),
+        actual_us > 19_000_000,
+    );
+    row(
+        "analysis sees (one wrap lost)",
+        "gap - 16.777 s",
+        &ms(r2.total_elapsed),
+        r2.total_elapsed + wrap >= actual_us.saturating_sub(1_000_000)
+            && r2.total_elapsed < actual_us,
+    );
+}

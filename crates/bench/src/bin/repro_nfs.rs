@@ -1,0 +1,69 @@
+//! E8 — "NFS actually provides less overhead and better throughput than
+//! an FTP style connection" because UDP checksums are off, plus the RPC
+//! turnaround measurement the Profiler made easy.
+
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, row, us};
+
+fn main() {
+    banner("E8", "NFS (UDP, cksum off) vs FTP-style TCP stream");
+    let total = 128 * 1024;
+    let nfs = Experiment::new()
+        .profile_modules(&["net", "locore"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::nfs_stream(total))
+        .run();
+    let tcp = Experiment::new()
+        .profile_modules(&["net", "locore"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::network_receive(total as u64, false))
+        .run();
+    let busy = |c: &hwprof::Capture| (c.kernel.machine.now - c.kernel.sched.idle_cycles) / 40;
+    let nfs_busy = busy(&nfs);
+    let tcp_busy = busy(&tcp);
+    let per_kb = |b: u64| b * 1024 / total as u64;
+    row(
+        "CPU us per KiB moved, NFS",
+        "< FTP",
+        &us(per_kb(nfs_busy)),
+        true,
+    );
+    row(
+        "CPU us per KiB moved, TCP/FTP-style",
+        "> NFS",
+        &us(per_kb(tcp_busy)),
+        per_kb(tcp_busy) > per_kb(nfs_busy),
+    );
+    let rn = nfs.analyze();
+    let rt = tcp.analyze();
+    row(
+        "in_cksum share, TCP",
+        "large",
+        &format!("{:.1}%", rt.pct_real("in_cksum")),
+        rt.pct_real("in_cksum") > 10.0,
+    );
+    row(
+        "in_cksum share, NFS (UDP cksum off)",
+        "~0",
+        &format!("{:.1}%", rn.pct_real("in_cksum")),
+        rn.pct_real("in_cksum") < rt.pct_real("in_cksum") / 2.0,
+    );
+    // RPC turnaround: "how long to formulate the request, send it and
+    // then how long to process the reply".
+    let req = rn.agg("nfs_request").expect("nfs_request profiled");
+    let turnaround = req.elapsed / req.calls.max(1);
+    row(
+        &format!("NFS RPC turnaround ({} calls)", req.calls),
+        "(measured, per 1 KiB read)",
+        &us(turnaround),
+        turnaround > 1_000 && turnaround < 60_000,
+    );
+    let udp = rn.agg("udp_output").expect("udp_output profiled");
+    row(
+        "request formulation (udp_output path)",
+        "(measured)",
+        &us(udp.elapsed / udp.calls.max(1)),
+        udp.calls == req.calls,
+    );
+}

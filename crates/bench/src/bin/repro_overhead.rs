@@ -1,0 +1,54 @@
+//! E9 — trigger overhead: "this has been calculated at around 1 to 1.2%
+//! extra CPU cycles [...] about 400 nanoseconds per function for a
+//! 40 MHz 386.  The size of the software also increases by the overhead
+//! of two instructions per function."
+
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, row};
+
+fn busy_cycles(instrument: bool) -> (u64, u64, u32) {
+    let e = if instrument {
+        Experiment::new().profile_all()
+    } else {
+        Experiment::new().profile_none().unarmed()
+    };
+    let c = e.scenario(scenarios::forkexec_loop(4)).run();
+    (
+        c.kernel.machine.now - c.kernel.sched.idle_cycles,
+        c.kernel.stats.page_faults,
+        c.link.kernel_size,
+    )
+}
+
+fn main() {
+    banner("E9", "instrumentation overhead: cycles and bytes");
+    let (plain, f1, size_plain) = busy_cycles(false);
+    let (prof, f2, size_prof) = busy_cycles(true);
+    assert_eq!(f1, f2, "identical work");
+    let overhead = (prof as f64 / plain as f64 - 1.0) * 100.0;
+    row(
+        "extra CPU cycles, profiled kernel",
+        "1 - 1.2%",
+        &format!("{overhead:.2}%"),
+        (0.1..4.0).contains(&overhead),
+    );
+    let per_trigger_ns = hwprof::machine::CostModel::pc386().trigger * 25;
+    row(
+        "per function (entry + exit triggers)",
+        "~400 ns",
+        &format!("{} ns", 2 * per_trigger_ns),
+        (300..500).contains(&(2 * per_trigger_ns)),
+    );
+    row(
+        "kernel grows by 6 bytes per trigger",
+        "(2 instrs/function)",
+        &format!("{} bytes", size_prof - size_plain),
+        size_prof > size_plain,
+    );
+    row(
+        "\"no noticeable difference\" profiled vs not",
+        "true",
+        if overhead < 4.0 { "true" } else { "false" },
+        overhead < 4.0,
+    );
+}

@@ -1,0 +1,36 @@
+//! E4 — Table 1: sample function timings (inclusive of subroutines).
+
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+use hwprof_bench::{banner, row, us};
+
+fn main() {
+    banner("E4 / Table 1", "sample function timings (avg inclusive us)");
+    let capture = Experiment::new()
+        .profile_all()
+        .board(BoardConfig::wide())
+        .scenario(scenarios::mixed(8))
+        .run();
+    let r = capture.analyze();
+    println!();
+    // (name, paper value, accepted band).
+    let table: [(&str, u64, std::ops::Range<u64>); 7] = [
+        ("vm_fault", 410, 120..900),
+        ("kmem_alloc", 801, 400..1300),
+        ("malloc", 37, 8..90),
+        ("free", 32, 8..80),
+        ("splnet", 11, 6..20),
+        ("spl0", 25, 12..45),
+        ("copyinstr", 170, 40..400),
+    ];
+    for (name, paper, band) in table {
+        let a = r.agg(name).unwrap_or_default();
+        let avg = a.elapsed / a.calls.max(1);
+        row(
+            &format!("{name} ({} calls)", a.calls),
+            &us(paper),
+            &us(avg),
+            a.calls > 0 && band.contains(&avg),
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared support for the `repro_*` binaries: each regenerates one
+//! table or figure from the paper and prints paper-vs-measured rows.
+//!
+//! Run them all with:
+//!
+//! ```text
+//! for b in $(cargo run --help >/dev/null 2>&1; ls crates/bench/src/bin); do
+//!     cargo run -q -p hwprof-bench --bin ${b%.rs}
+//! done
+//! ```
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Prints one paper-vs-measured comparison row.
+pub fn row(metric: &str, paper: &str, measured: &str, ok: bool) {
+    println!(
+        "  {:<44} paper {:>14}   measured {:>14}   [{}]",
+        metric,
+        paper,
+        measured,
+        if ok { "ok" } else { "off" }
+    );
+}
+
+/// Formats a µs value.
+pub fn us(v: u64) -> String {
+    format!("{v} us")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats a ms value from µs.
+pub fn ms(v_us: u64) -> String {
+    format!("{:.1} ms", v_us as f64 / 1000.0)
+}

@@ -1,0 +1,205 @@
+//! The experiment harness: build an instrumented kernel, plug in the
+//! board, run a scenario, pull the data.
+//!
+//! This mirrors the paper's workflow end to end: compile the chosen
+//! modules with profiling (selective macro-/micro-profiling), resolve
+//! `_ProfileBase` with the two-stage link, flip the board's switch, run
+//! the workload, carry the RAMs to the "UNIX host" (the analysis crate).
+
+use hwprof_analysis::{analyze_sessions, decode, Reconstruction};
+use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
+use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
+use hwprof_kernel386::kernel::{Kernel, KernelConfig};
+use hwprof_kernel386::sim::{Sim, SimBuilder};
+use hwprof_machine::machine::DEFAULT_EPROM_PHYS;
+use hwprof_machine::wire::RemoteHost;
+use hwprof_machine::CostModel;
+use hwprof_profiler::{BoardConfig, Profiler, RawRecord};
+use hwprof_tagfile::TagFile;
+
+/// Text+data bytes of the uninstrumented kernel image (a 386BSD 0.1
+/// GENERIC-ish size; only the Figure 2 address arithmetic consumes it).
+pub const BASE_KERNEL_SIZE: u32 = 560 * 1024;
+
+/// A workload: devices it needs plus the processes it spawns.
+pub struct Scenario {
+    /// Remote Ethernet host, if the scenario needs the wire.
+    pub host: Option<Box<dyn RemoteHost>>,
+    /// Whether the IDE disk is needed.
+    pub disk: bool,
+    /// Spawns the scenario's processes.
+    pub spawn: Box<dyn FnOnce(&Sim)>,
+}
+
+/// A configured profiling experiment.
+pub struct Experiment {
+    select: ModuleSelect,
+    config: KernelConfig,
+    cost: CostModel,
+    board: BoardConfig,
+    scenario: Option<Scenario>,
+    armed: bool,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Experiment {
+    /// Defaults: profile everything, stock board, 40 MHz PC, armed.
+    pub fn new() -> Self {
+        Experiment {
+            select: ModuleSelect::All,
+            config: KernelConfig::default(),
+            cost: CostModel::pc386(),
+            board: BoardConfig::default(),
+            scenario: None,
+            armed: true,
+        }
+    }
+
+    /// Selective profiling: compile only these modules with triggers
+    /// (`swtch` stays tagged regardless — the analyzer needs it).
+    pub fn profile_modules(mut self, modules: &[&'static str]) -> Self {
+        self.select = ModuleSelect::only(modules);
+        self
+    }
+
+    /// Profile every module (the macro view).
+    pub fn profile_all(mut self) -> Self {
+        self.select = ModuleSelect::All;
+        self
+    }
+
+    /// Production build: no triggers at all (overhead comparisons).
+    pub fn profile_none(mut self) -> Self {
+        self.select = ModuleSelect::None;
+        self
+    }
+
+    /// Kernel configuration (clock rate, checksum variant, ...).
+    pub fn config(mut self, config: KernelConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Machine cost model (e.g. the 68020 board).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Board variant (stock 16384x24-bit, or the wide future-work one).
+    pub fn board(mut self, board: BoardConfig) -> Self {
+        self.board = board;
+        self
+    }
+
+    /// The workload.
+    pub fn scenario(mut self, s: Scenario) -> Self {
+        self.scenario = Some(s);
+        self
+    }
+
+    /// Leave the switch off (the board records nothing).
+    pub fn unarmed(mut self) -> Self {
+        self.armed = false;
+        self
+    }
+
+    /// Builds, links, runs and uploads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scenario was supplied or the simulation panics.
+    pub fn run(self) -> Capture {
+        let scenario = self.scenario.expect("Experiment needs a scenario");
+        // The modified compiler pass; swtch is always tagged.
+        let mut compiler = Compiler::new(500);
+        let image = compiler
+            .compile_forced(&FUNCS, &INLINES, &self.select, &[KFn::Swtch.idx()])
+            .expect("fresh tag file cannot collide");
+        let tagfile = image.tagfile.clone();
+        // The two-stage link resolves _ProfileBase for this build.
+        let link = two_stage_link(
+            KernelImage::new(BASE_KERNEL_SIZE, &image.stats),
+            DEFAULT_EPROM_PHYS,
+        )
+        .expect("EPROM socket is in the ISA window");
+        // The board on the EPROM socket.
+        let board = Profiler::new(self.board);
+        if self.armed {
+            board.set_switch(true);
+        }
+        let mut builder = SimBuilder::new()
+            .cost(self.cost)
+            .config(self.config)
+            .image(image)
+            .profiler(Box::new(board.clone()));
+        if let Some(host) = scenario.host {
+            builder = builder.ether(host);
+        }
+        if scenario.disk {
+            builder = builder.disk();
+        }
+        let sim = builder.build();
+        (scenario.spawn)(&sim);
+        let kernel = sim.run();
+        Capture {
+            records: board.records(),
+            overflowed: board.leds().overflow,
+            missed: board.missed(),
+            tagfile,
+            link,
+            kernel,
+        }
+    }
+}
+
+/// The upload: everything the run produced.
+pub struct Capture {
+    /// The board's RAM contents.
+    pub records: Vec<RawRecord>,
+    /// The overflow LED: the RAM filled and capture stopped early.
+    pub overflowed: bool,
+    /// Trigger reads the board saw while not storing.
+    pub missed: u64,
+    /// The name/tag file of this build.
+    pub tagfile: TagFile,
+    /// The resolved two-stage link.
+    pub link: LinkResult,
+    /// Final kernel state (ground truth, statistics).
+    pub kernel: Kernel,
+}
+
+impl Capture {
+    /// Runs the analysis software over this capture.
+    pub fn analyze(&self) -> Reconstruction {
+        let (syms, events) = decode(&self.records, &self.tagfile);
+        analyze_sessions(&syms, &[events])
+    }
+
+    /// Analyzes several captures together (the paper's Figure 3 header
+    /// shows 28060 tags — more than one RAM load; the operator swapped
+    /// battery-backed RAMs between runs).
+    pub fn analyze_concatenated(captures: &[&Capture]) -> Reconstruction {
+        assert!(!captures.is_empty(), "at least one capture");
+        let mut sessions = Vec::new();
+        let mut syms = None;
+        for c in captures {
+            let (s, events) = decode(&c.records, &c.tagfile);
+            syms.get_or_insert(s);
+            sessions.push(events);
+        }
+        analyze_sessions(&syms.expect("non-empty"), &sessions)
+    }
+
+    /// Fraction of wall time the CPU was busy (from the scheduler, not
+    /// the capture).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.kernel.machine.now.max(1);
+        1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
+    }
+}

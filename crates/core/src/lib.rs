@@ -1,0 +1,39 @@
+//! # hwprof — Hardware Profiling of Kernels, reproduced
+//!
+//! A full working reproduction of Andrew McRae's 1993 system for
+//! profiling a running kernel with a cheap EPROM-socket event-capture
+//! board: the board, the modified compiler, the simulated 386BSD-style
+//! kernel it profiles, the analysis software, and the paper's rejected
+//! baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hwprof::{Experiment, scenarios};
+//! use hwprof::analysis::summary_report;
+//!
+//! // Profile the network modules while a remote host streams TCP at
+//! // the machine (the paper's Figure 3 setup, shortened).
+//! let capture = Experiment::new()
+//!     .profile_modules(&["net", "locore", "kern"])
+//!     .scenario(scenarios::network_receive(32 * 1024, false))
+//!     .run();
+//! let profile = capture.analyze();
+//! println!("{}", summary_report(&profile, Some(10)));
+//! assert!(profile.agg("bcopy").unwrap().calls > 0);
+//! ```
+
+pub mod experiment;
+pub mod scenarios;
+
+pub use experiment::{Capture, Experiment};
+
+// Re-export the component crates under one roof.
+pub use hwprof_analysis as analysis;
+pub use hwprof_baseline as baseline;
+pub use hwprof_instrument as instrument;
+pub use hwprof_kernel386 as kernel386;
+pub use hwprof_machine as machine;
+pub use hwprof_profiler as profiler;
+pub use hwprof_snmpmib as snmpmib;
+pub use hwprof_tagfile as tagfile;

@@ -1,0 +1,282 @@
+//! The standard workloads: each of the paper's experiments as a
+//! [`Scenario`].
+
+use hwprof_kernel386::ctx::Ctx;
+use hwprof_kernel386::hosts::{NfsServer, TcpBlaster};
+use hwprof_kernel386::kern_exec::ExecImage;
+use hwprof_kernel386::nfs;
+use hwprof_kernel386::syscall::{
+    sys_close, sys_execve, sys_open, sys_read, sys_read_timeout, sys_sleep, sys_socket, sys_vfork,
+    sys_wait, sys_write,
+};
+use hwprof_kernel386::user::{ucompute, utouch_pages};
+use hwprof_kernel386::wire_fmt::IPPROTO_TCP;
+
+use crate::experiment::Scenario;
+
+/// Port the receive experiments listen on.
+pub const RECV_PORT: u16 = 5001;
+
+/// Reads from a TCP socket (blocking inside `soreceive`, as the paper's
+/// receiver did) until `deadline_us` of virtual time passes with no
+/// data.  Returns the bytes received.  (The saturation test drops
+/// packets, so byte counts cannot terminate the loop; the paper armed
+/// the Profiler's switch for a window instead.)
+fn drain_socket_until(ctx: &mut Ctx, fd: usize, deadline_us: u64) -> usize {
+    let mut got = 0usize;
+    loop {
+        let data = sys_read_timeout(ctx, fd, 4096, 3);
+        got += data.len();
+        if data.is_empty() && ctx.k.now_us() >= deadline_us {
+            break;
+        }
+    }
+    got
+}
+
+/// The Figure 3 workload: a remote host streams TCP at the PC; the
+/// receiver reads and discards.  `saturate = true` sends back to back
+/// (the PC cannot keep up, the paper's CPU-bound case); otherwise the
+/// stream is paced so nothing drops.
+pub fn network_receive(total_bytes: u64, saturate: bool) -> Scenario {
+    // The paper's numbers ("checksum a 1 Kbyte packet", "a 1Kbyte mbuf
+    // cluster") show the Sparc was sending ~1 KiB segments; the paced
+    // integrity runs use full frames.
+    let mss: usize = if saturate { 1024 } else { 1460 };
+    let frames = total_bytes.div_ceil(mss as u64);
+    // A saturated run is CPU-clocked (~2 ms per frame once TCP flow
+    // control paces the sender down); a paced run is wire+gap clocked.
+    let deadline_us = frames * if saturate { 2100 } else { 1250 + 2500 } + 10_000;
+    let blaster = if saturate {
+        TcpBlaster::new(RECV_PORT, mss, total_bytes)
+    } else {
+        TcpBlaster::paced(RECV_PORT, mss, total_bytes, 2500)
+    };
+    Scenario {
+        host: Some(Box::new(blaster)),
+        disk: false,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "ttcp-r",
+                Box::new(move |ctx| {
+                    let fd = sys_socket(ctx, IPPROTO_TCP, RECV_PORT);
+                    drain_socket_until(ctx, fd, deadline_us);
+                    sys_close(ctx, fd);
+                }),
+            );
+        }),
+    }
+}
+
+/// The Figure 4 workload: a handful of packets arriving while a second
+/// process wakes up and opens files — one capture showing the driver
+/// path, `ipintr`, `tcp_input`, a context switch and the `falloc` path.
+pub fn single_packet_trace() -> Scenario {
+    Scenario {
+        host: Some(Box::new(TcpBlaster::paced(RECV_PORT, 1460, 6 * 1460, 3000))),
+        disk: true,
+        spawn: Box::new(|sim| {
+            sim.spawn(
+                "reader",
+                Box::new(|ctx| {
+                    let fd = sys_socket(ctx, IPPROTO_TCP, RECV_PORT);
+                    drain_socket_until(ctx, fd, 40_000);
+                    sys_close(ctx, fd);
+                }),
+            );
+            sim.spawn(
+                "opener",
+                Box::new(|ctx| {
+                    for i in 0..4 {
+                        sys_sleep(ctx, 1);
+                        let fd = sys_open(ctx, &format!("/tmp/f{i}"), true);
+                        sys_write(ctx, fd, &[0u8; 512]);
+                        sys_close(ctx, fd);
+                    }
+                }),
+            );
+        }),
+    }
+}
+
+/// The Figure 5 workload: a shell-sized parent vforks + execs children
+/// in a loop ("a common operation of UNIX").  `iterations` fork/exec
+/// cycles.
+pub fn forkexec_loop(iterations: usize) -> Scenario {
+    Scenario {
+        host: None,
+        disk: false,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "sh",
+                Box::new(move |ctx| {
+                    sys_execve(ctx, &ExecImage::shell());
+                    utouch_pages(ctx, 60, true);
+                    for _ in 0..iterations {
+                        let _child = sys_vfork(
+                            ctx,
+                            "cmd",
+                            Box::new(|ctx| {
+                                sys_execve(ctx, &ExecImage::shell());
+                                utouch_pages(ctx, 14, true);
+                                ucompute(ctx, 800);
+                            }),
+                        );
+                        let _ = sys_wait(ctx);
+                        ucompute(ctx, 300);
+                    }
+                }),
+            );
+        }),
+    }
+}
+
+/// The filesystem workload: stream `blocks` 4 KiB blocks into a file
+/// through the buffer cache and the IDE driver.
+pub fn fs_writer(blocks: usize) -> Scenario {
+    Scenario {
+        host: None,
+        disk: true,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "writer",
+                Box::new(move |ctx| {
+                    let fd = sys_open(ctx, "/bench/out", true);
+                    let chunk = vec![0xA5u8; 4096];
+                    for _ in 0..blocks {
+                        sys_write(ctx, fd, &chunk);
+                    }
+                    sys_close(ctx, fd);
+                    hwprof_kernel386::syscall::sys_sync(ctx);
+                }),
+            );
+        }),
+    }
+}
+
+/// Scattered uncached reads: the 18-26 ms read-latency study.  Writes
+/// `files` one-block files first (cache warm), then reads them back
+/// through a *cold* cache is impossible in one boot, so the reader skips
+/// around a large pre-written file instead, defeating readahead-free
+/// caching by visiting each block once.
+pub fn fs_scattered_reads(blocks: usize) -> Scenario {
+    Scenario {
+        host: None,
+        disk: true,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "reader",
+                Box::new(move |ctx| {
+                    // Build a fragmented file: the allocator jumps
+                    // cylinder groups every 16 blocks.
+                    let fd = sys_open(ctx, "/bench/big", true);
+                    let chunk = vec![0x5Au8; 4096];
+                    for _ in 0..blocks {
+                        sys_write(ctx, fd, &chunk);
+                    }
+                    sys_close(ctx, fd);
+                    // Wait for the write buffer to drain.
+                    hwprof_kernel386::syscall::sys_sync(ctx);
+                    sys_sleep(ctx, 20);
+                    // Evict by dropping cache state: new open, invalidate.
+                    {
+                        // Cold-read emulation: mark every buffer invalid
+                        // (the paper rebooted between runs).
+                        for b in ctx.k.fs.bufs.iter_mut() {
+                            b.valid = false;
+                        }
+                    }
+                    // Read back in a strided order so every block pays a
+                    // real seek (the paper's 18-26 ms per read).
+                    let fd = sys_open(ctx, "/bench/big", false);
+                    for i in 0..blocks {
+                        let blk = (i * 7 + 3) % blocks;
+                        hwprof_kernel386::syscall::sys_lseek(ctx, fd, (blk * 4096) as u64);
+                        let d = sys_read(ctx, fd, 4096);
+                        assert_eq!(d.len(), 4096);
+                    }
+                    sys_close(ctx, fd);
+                }),
+            );
+        }),
+    }
+}
+
+/// The NFS-vs-FTP comparison: read `total` bytes over NFS RPC (UDP,
+/// checksums off).
+pub fn nfs_stream(total: usize) -> Scenario {
+    Scenario {
+        host: Some(Box::new(NfsServer::new(1200, false))),
+        disk: false,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "nfsio",
+                Box::new(move |ctx| {
+                    let data = nfs::nfs_read(ctx, 1, 0, total);
+                    assert_eq!(data.len(), total);
+                }),
+            );
+        }),
+    }
+}
+
+/// An idle machine with the clock ticking: the clock-interrupt study.
+pub fn clock_idle(ticks: u32) -> Scenario {
+    Scenario {
+        host: None,
+        disk: false,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "idle-watch",
+                Box::new(move |ctx| {
+                    sys_sleep(ctx, ticks);
+                }),
+            );
+        }),
+    }
+}
+
+/// A mixed workload exercising every subsystem (Table 1 sampling).
+pub fn mixed(iterations: usize) -> Scenario {
+    Scenario {
+        host: Some(Box::new(TcpBlaster::paced(
+            RECV_PORT,
+            1460,
+            (iterations as u64) * 8 * 1460,
+            2600,
+        ))),
+        disk: true,
+        spawn: Box::new(move |sim| {
+            sim.spawn(
+                "mix-net",
+                Box::new(move |ctx| {
+                    let fd = sys_socket(ctx, IPPROTO_TCP, RECV_PORT);
+                    drain_socket_until(ctx, fd, iterations as u64 * 35_000);
+                    sys_close(ctx, fd);
+                }),
+            );
+            sim.spawn(
+                "mix-proc",
+                Box::new(move |ctx| {
+                    sys_execve(ctx, &ExecImage::shell());
+                    utouch_pages(ctx, 25, true);
+                    for i in 0..iterations {
+                        let fd = sys_open(ctx, &format!("/mix/{i}"), true);
+                        sys_write(ctx, fd, &vec![7u8; 8192]);
+                        sys_close(ctx, fd);
+                        let _ = sys_vfork(
+                            ctx,
+                            "mixchild",
+                            Box::new(|ctx| {
+                                sys_execve(ctx, &ExecImage::shell());
+                                utouch_pages(ctx, 6, true);
+                            }),
+                        );
+                        let _ = sys_wait(ctx);
+                        ucompute(ctx, 2_000);
+                    }
+                }),
+            );
+        }),
+    }
+}

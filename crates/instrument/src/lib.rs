@@ -1,0 +1,35 @@
+//! The modified C compiler and the two-stage kernel link.
+//!
+//! In the paper, gcc 1.39 was changed to emit one trigger instruction in
+//! every function prologue and epilogue:
+//!
+//! ```text
+//! _myfunction:
+//!     movb _ProfileBase+1386,%al
+//!     pushl %ebp
+//!     ...
+//!     leave
+//!     movb _ProfileBase+1387,%cl
+//!     ret
+//! ```
+//!
+//! Tags come from the name/tag file (see `hwprof-tagfile`); compiling a
+//! module with profiling enabled assigns tags to its functions (extending
+//! the file), and compiling it without leaves the functions untouched —
+//! the *selective profiling* that the paper's macro-/micro-profiling
+//! methodology relies on.
+//!
+//! Because 386BSD remaps ISA memory into kernel virtual space at an
+//! address that depends on the kernel's own size (Figure 2), the absolute
+//! address of the Profiler's EPROM window "cannot be resolved at compile
+//! time [...] the kernel is first linked with a dummy of `_ProfileBase`,
+//! then a shell script is automatically used to extract the size from the
+//! kernel and recompile the assembler file with the real value" — the
+//! [`link`] module reproduces that address arithmetic and the two-stage
+//! convergence.
+
+pub mod compile;
+pub mod link;
+
+pub use compile::{CompileStats, Compiler, FuncMeta, InlineMeta, InstrumentedImage, ModuleSelect};
+pub use link::{round_page, two_stage_link, IsaMap, KernelImage, LinkError, LinkResult};

@@ -1,0 +1,209 @@
+//! The two-stage link that resolves `_ProfileBase` (Figure 2).
+//!
+//! After initial loading, 386BSD remaps itself to virtual `0xFE000000`;
+//! "the last location of the kernel is rounded to a page boundary, and a
+//! fixed number of pages are allocated for the kernel stack, a proto udot
+//! area and other virtual memory requirements.  The ISA memory address
+//! space is then remapped to follow this kernel address space; the virtual
+//! address that this memory is mapped at may vary depending on the size of
+//! the kernel."
+
+use crate::compile::{CompileStats, TRIGGER_INSTR_BYTES};
+
+/// Page size of the i386.
+pub const PAGE_SIZE: u32 = 4096;
+/// Virtual base the kernel is remapped to.
+pub const KERNBASE: u32 = 0xFE00_0000;
+/// First physical address of the ISA bus memory window.
+pub const ISA_PHYS_BASE: u32 = 0x000A_0000;
+/// One past the last physical address of the ISA window (hex 100000).
+pub const ISA_PHYS_END: u32 = 0x0010_0000;
+/// Pages reserved after the kernel for the stack, proto udot and other
+/// VM requirements before the ISA remap begins.
+pub const FIXED_PAGES: u32 = 3;
+
+/// Rounds `addr` up to the next page boundary.
+pub fn round_page(addr: u32) -> u32 {
+    addr.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+/// Errors in the address arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The EPROM socket's physical address is outside the ISA window.
+    EpromOutsideIsaWindow {
+        /// The offending address.
+        phys: u32,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::EpromOutsideIsaWindow { phys } => write!(
+                f,
+                "EPROM physical address {phys:#x} outside ISA window \
+                 {ISA_PHYS_BASE:#x}..{ISA_PHYS_END:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// The kernel's runtime view of the ISA memory window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaMap {
+    /// Virtual address where physical `ISA_PHYS_BASE` appears.
+    pub isa_va: u32,
+}
+
+impl IsaMap {
+    /// Computes the remap for a kernel of `kernel_size` bytes.
+    pub fn for_kernel_size(kernel_size: u32) -> IsaMap {
+        let kernel_end = round_page(KERNBASE.wrapping_add(kernel_size));
+        IsaMap {
+            isa_va: kernel_end + FIXED_PAGES * PAGE_SIZE,
+        }
+    }
+
+    /// Kernel virtual address of ISA physical address `phys`.
+    pub fn phys_to_virt(&self, phys: u32) -> Result<u32, LinkError> {
+        if !(ISA_PHYS_BASE..ISA_PHYS_END).contains(&phys) {
+            return Err(LinkError::EpromOutsideIsaWindow { phys });
+        }
+        Ok(self.isa_va + (phys - ISA_PHYS_BASE))
+    }
+}
+
+/// The link input: a kernel image whose size depends on instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelImage {
+    /// Text + data size of the uninstrumented kernel, bytes.
+    pub base_size: u32,
+    /// Trigger instructions added by the compiler.
+    pub trigger_instructions: u32,
+}
+
+impl KernelImage {
+    /// An image sized from compiler statistics.
+    pub fn new(base_size: u32, stats: &CompileStats) -> Self {
+        KernelImage {
+            base_size,
+            trigger_instructions: stats.trigger_instructions as u32,
+        }
+    }
+
+    /// Linked size in bytes.  The value of `_ProfileBase` does not change
+    /// the size (the trigger instruction encodes a 32-bit absolute either
+    /// way), which is what makes the two-stage link converge.
+    pub fn size(&self) -> u32 {
+        self.base_size + self.trigger_instructions * TRIGGER_INSTR_BYTES
+    }
+}
+
+/// The resolved link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkResult {
+    /// Final kernel size in bytes.
+    pub kernel_size: u32,
+    /// The runtime virtual address of the Profiler's EPROM window: the
+    /// value of `_ProfileBase`.  Trigger instructions read
+    /// `_ProfileBase + tag`.
+    pub profile_base: u32,
+    /// Link passes performed (2 in the paper's scheme).
+    pub passes: u32,
+}
+
+/// Runs the paper's two-stage link: link with a dummy `_ProfileBase`,
+/// extract the size, recompute the real value, relink, and verify the
+/// size did not move.
+pub fn two_stage_link(image: KernelImage, eprom_phys: u32) -> Result<LinkResult, LinkError> {
+    // Stage 1: dummy value; we only need the size.
+    let size_pass1 = image.size();
+    // Stage 2: compute the real ProfileBase from the stage-1 size and
+    // relink.  The size is value-independent, so one fixpoint check
+    // suffices; assert it anyway — if the instruction encoding ever made
+    // size depend on the value this would catch it.
+    let map = IsaMap::for_kernel_size(size_pass1);
+    let profile_base = map.phys_to_virt(eprom_phys)?;
+    let size_pass2 = image.size();
+    assert_eq!(size_pass1, size_pass2, "link did not converge");
+    Ok(LinkResult {
+        kernel_size: size_pass2,
+        profile_base,
+        passes: 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_window_follows_kernel_and_fixed_pages() {
+        // A 1 MiB kernel: end rounds to KERNBASE + 0x100000 exactly.
+        let map = IsaMap::for_kernel_size(0x0010_0000);
+        assert_eq!(map.isa_va, KERNBASE + 0x0010_0000 + 3 * PAGE_SIZE);
+        // A one-byte-longer kernel slides the window a whole page.
+        let map2 = IsaMap::for_kernel_size(0x0010_0001);
+        assert_eq!(map2.isa_va, map.isa_va + PAGE_SIZE);
+    }
+
+    #[test]
+    fn profile_base_tracks_kernel_size() {
+        let img_small = KernelImage {
+            base_size: 800_000,
+            trigger_instructions: 0,
+        };
+        let img_big = KernelImage {
+            base_size: 800_000,
+            trigger_instructions: 2854, // the paper's 2784 + 35*2
+        };
+        let eprom = 0x000C_C000;
+        let a = two_stage_link(img_small, eprom).unwrap();
+        let b = two_stage_link(img_big, eprom).unwrap();
+        assert!(b.kernel_size > a.kernel_size);
+        assert!(
+            b.profile_base >= a.profile_base,
+            "bigger kernel pushes the window up"
+        );
+        assert_eq!(a.passes, 2);
+    }
+
+    #[test]
+    fn eprom_must_sit_in_the_isa_window() {
+        let img = KernelImage {
+            base_size: 500_000,
+            trigger_instructions: 100,
+        };
+        assert!(two_stage_link(img, 0x0009_0000).is_err());
+        assert!(two_stage_link(img, 0x0010_0000).is_err());
+        assert!(two_stage_link(img, 0x000A_0000).is_ok());
+        assert!(two_stage_link(img, 0x000F_FFFF).is_ok());
+    }
+
+    #[test]
+    fn trigger_addresses_land_inside_the_window() {
+        let img = KernelImage {
+            base_size: 700_000,
+            trigger_instructions: 2854,
+        };
+        let link = two_stage_link(img, 0x000C_C000).unwrap();
+        // The 16-bit tag offset keeps every trigger read within the
+        // 64 KiB EPROM decode.
+        let lo = link.profile_base;
+        let hi = link.profile_base + u16::MAX as u32;
+        assert!(hi > lo);
+        let map = IsaMap::for_kernel_size(link.kernel_size);
+        assert_eq!(map.phys_to_virt(0x000C_C000).unwrap(), lo);
+    }
+
+    #[test]
+    fn round_page_behaviour() {
+        assert_eq!(round_page(0), 0);
+        assert_eq!(round_page(1), PAGE_SIZE);
+        assert_eq!(round_page(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(round_page(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+    }
+}

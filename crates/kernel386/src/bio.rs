@@ -1,0 +1,182 @@
+//! The buffer cache: `getblk`, `bread`, `bwrite`, `bawrite`, `brelse`,
+//! `biowait`, `biodone`.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ctx::{kfn, Ctx};
+use crate::ffs::Ffs;
+use crate::funcs::KFn;
+use crate::synch::{tsleep, wakeup};
+
+/// Filesystem block size (8 disk sectors).
+pub const BSIZE: usize = 4096;
+/// Sectors per filesystem block.
+pub const SECTORS_PER_BLOCK: u64 = (BSIZE / 512) as u64;
+
+/// One cache buffer.
+#[derive(Debug)]
+pub struct Buf {
+    /// Filesystem block number.
+    pub blkno: u64,
+    /// The block contents.
+    pub data: Vec<u8>,
+    /// Contents are valid.
+    pub valid: bool,
+    /// Needs writing.
+    pub dirty: bool,
+    /// I/O in flight.
+    pub busy: bool,
+}
+
+/// A disk transfer in the driver queue.
+#[derive(Debug, Clone, Copy)]
+pub struct Io {
+    /// Buffer index.
+    pub buf: usize,
+    /// Write (true) or read.
+    pub write: bool,
+    /// Next sector within the block to transfer.
+    pub next_sect: u64,
+}
+
+/// Filesystem + block I/O state.
+#[derive(Debug, Default)]
+pub struct FsState {
+    /// All cache buffers.
+    pub bufs: Vec<Buf>,
+    /// blkno -> buffer index.
+    pub hash: HashMap<u64, usize>,
+    /// Driver request queue.
+    pub wd_queue: VecDeque<Io>,
+    /// Transfer the controller is working on.
+    pub wd_active: Option<Io>,
+    /// The filesystem proper.
+    pub ffs: Ffs,
+}
+
+impl FsState {
+    /// Fresh state with an empty cache and a new filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sleep channel for buffer `i`.
+    pub fn buf_chan(i: usize) -> u64 {
+        0x8000_0000 + i as u64
+    }
+}
+
+/// `getblk`: find or create the cache buffer for `blkno`, sleeping while
+/// another I/O holds it busy.
+pub fn getblk(ctx: &mut Ctx, blkno: u64) -> usize {
+    kfn(ctx, KFn::Getblk, |ctx| {
+        ctx.t_us(7);
+        loop {
+            if let Some(&i) = ctx.k.fs.hash.get(&blkno) {
+                if ctx.k.fs.bufs[i].busy {
+                    tsleep(ctx, FsState::buf_chan(i), 0);
+                    continue;
+                }
+                return i;
+            }
+            ctx.t_us(8);
+            let i = ctx.k.fs.bufs.len();
+            ctx.k.fs.bufs.push(Buf {
+                blkno,
+                data: vec![0; BSIZE],
+                valid: false,
+                dirty: false,
+                busy: false,
+            });
+            ctx.k.fs.hash.insert(blkno, i);
+            return i;
+        }
+    })
+}
+
+/// `biowait`: sleep until the buffer's I/O completes.
+pub fn biowait(ctx: &mut Ctx, buf: usize) {
+    kfn(ctx, KFn::Biowait, |ctx| {
+        let s = crate::spl::splbio(ctx);
+        while ctx.k.fs.bufs[buf].busy {
+            tsleep(ctx, FsState::buf_chan(buf), 0);
+        }
+        crate::spl::splx(ctx, s);
+    });
+}
+
+/// `biodone`: I/O finished (called from the driver interrupt).
+pub fn biodone(ctx: &mut Ctx, buf: usize) {
+    kfn(ctx, KFn::Biodone, |ctx| {
+        ctx.t_us(4);
+        let b = &mut ctx.k.fs.bufs[buf];
+        b.busy = false;
+        b.valid = true;
+        b.dirty = false;
+        wakeup(ctx, FsState::buf_chan(buf));
+    });
+}
+
+/// `brelse`: release a buffer after use.
+pub fn brelse(ctx: &mut Ctx, _buf: usize) {
+    kfn(ctx, KFn::Brelse, |ctx| {
+        ctx.t_us(4);
+    });
+}
+
+/// `bread`: return the buffer for `blkno`, reading it from disk on a
+/// cache miss (the paper's 18-26 ms per uncached read).
+pub fn bread(ctx: &mut Ctx, blkno: u64) -> usize {
+    kfn(ctx, KFn::Bread, |ctx| {
+        let i = getblk(ctx, blkno);
+        if ctx.k.fs.bufs[i].valid {
+            return i;
+        }
+        ctx.k.fs.bufs[i].busy = true;
+        crate::wd_disk::wdstrategy(
+            ctx,
+            Io {
+                buf: i,
+                write: false,
+                next_sect: 0,
+            },
+        );
+        biowait(ctx, i);
+        i
+    })
+}
+
+/// `bwrite`: synchronous write of buffer `buf`.
+pub fn bwrite(ctx: &mut Ctx, buf: usize) {
+    kfn(ctx, KFn::Bwrite, |ctx| {
+        ctx.k.fs.bufs[buf].dirty = true;
+        ctx.k.fs.bufs[buf].busy = true;
+        crate::wd_disk::wdstrategy(
+            ctx,
+            Io {
+                buf,
+                write: true,
+                next_sect: 0,
+            },
+        );
+        biowait(ctx, buf);
+    });
+}
+
+/// `bawrite`: asynchronous write — queue it and return (the process
+/// stays runnable while the disk streams, which is how the paper's write
+/// test keeps the CPU only 28 % busy).
+pub fn bawrite(ctx: &mut Ctx, buf: usize) {
+    kfn(ctx, KFn::Bawrite, |ctx| {
+        ctx.k.fs.bufs[buf].dirty = true;
+        ctx.k.fs.bufs[buf].busy = true;
+        crate::wd_disk::wdstrategy(
+            ctx,
+            Io {
+                buf,
+                write: true,
+                next_sect: 0,
+            },
+        );
+    });
+}

@@ -1,0 +1,149 @@
+//! The execution context: the run token plus the kernel lock.
+//!
+//! Every simulated process is an OS thread, but exactly one thread runs at
+//! a time: the one whose pid equals `sched.current` *and* which holds the
+//! kernel mutex.  `swtch` hands the token over and waits; the condvar is
+//! the dispatcher.  Because a blocked thread parks inside its real call
+//! stack, `tsleep` deep inside `soreceive` suspends mid-function exactly
+//! like the BSD kernel, and the Profiler trace shows the same
+//! entry/exit discontinuities the paper's Figure 4 shows.
+
+use hwprof_machine::{Cycles, CYCLES_PER_US};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::funcs::{KFn, KInline};
+use crate::kernel::Kernel;
+use crate::proc::Pid;
+use crate::trap;
+
+/// State shared by all process threads and the controller.
+pub struct SimShared {
+    /// The kernel, owned by whoever holds the run token.
+    pub kernel: Mutex<Kernel>,
+    /// Dispatcher: notified whenever `sched.current` changes.
+    pub cv: Condvar,
+    /// Set when the simulation has ended (all processes exited).
+    pub done: AtomicBool,
+    /// Join handles of all process threads.
+    pub handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SimShared {
+    /// Wraps a kernel for simulation.
+    pub fn new(kernel: Kernel) -> Self {
+        SimShared {
+            kernel: Mutex::new(kernel),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// The per-thread execution context: the kernel guard plus identity.
+pub struct Ctx<'a> {
+    /// The kernel, exclusively held while this thread runs.
+    pub k: MutexGuard<'a, Kernel>,
+    /// Shared dispatcher state (an `Arc` reference so `fork1` can start
+    /// new threads).
+    pub shared: &'a std::sync::Arc<SimShared>,
+    /// The process this thread hosts.
+    pub me: Pid,
+    /// Hardware-interrupt nesting depth.
+    pub intr_depth: u32,
+}
+
+impl<'a> Ctx<'a> {
+    /// Burns `c` CPU cycles, letting device time pass and delivering any
+    /// unmasked interrupts (this is the instruction-boundary model: every
+    /// charge is a window where interrupts may fire).
+    #[inline]
+    pub fn charge(&mut self, c: Cycles) {
+        self.k.machine.advance(c);
+        self.dispatch_interrupts();
+    }
+
+    /// Burns `us` microseconds of straight-line kernel code.
+    #[inline]
+    pub fn t_us(&mut self, us: u64) {
+        self.charge(us * CYCLES_PER_US);
+    }
+
+    /// Delivers every pending interrupt the current spl level admits.
+    pub fn dispatch_interrupts(&mut self) {
+        loop {
+            let mask = self.k.spl.mask();
+            let Some(irq) = self.k.machine.take_irq(mask) else {
+                break;
+            };
+            trap::isa_intr(self, irq);
+        }
+    }
+
+    /// Fires the entry trigger of `f` (if its module was compiled with
+    /// profiling) and records ground truth.
+    #[inline]
+    pub fn fn_enter(&mut self, f: KFn) {
+        let now = self.k.machine.now;
+        let pid = self.k.sched.current;
+        self.k.trace.enter(pid, f, now);
+        if let Some(tag) = self.k.image.entry_tag(f.idx()) {
+            // The `movb _ProfileBase+tag,%al` prologue instruction.
+            let c = self.k.machine.cost.trigger;
+            self.k.machine.now += c;
+            self.k.machine.eprom_read(tag);
+        }
+    }
+
+    /// Fires the exit trigger of `f` and records ground truth.
+    #[inline]
+    pub fn fn_exit(&mut self, f: KFn) {
+        if let Some(tag) = self.k.image.exit_tag(f.idx()) {
+            let c = self.k.machine.cost.trigger;
+            self.k.machine.now += c;
+            self.k.machine.eprom_read(tag);
+        }
+        let now = self.k.machine.now;
+        let pid = self.k.sched.current;
+        self.k.trace.exit(pid, f, now);
+    }
+
+    /// Fires an inline trigger (the compiler `asm` macro path).
+    #[inline]
+    pub fn inline_trigger(&mut self, p: KInline) {
+        if let Some(tag) = self.k.image.inline_tag(p as usize) {
+            let c = self.k.machine.cost.trigger;
+            self.k.machine.now += c;
+            self.k.machine.eprom_read(tag);
+        }
+    }
+
+    /// Parks this thread until the dispatcher hands it the token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation is torn down while waiting (a watchdog or
+    /// kernel panic elsewhere).
+    pub fn wait_until_scheduled(&mut self) {
+        while self.k.sched.current != self.me {
+            if self.shared.done.load(Ordering::SeqCst) {
+                panic!("simulation ended while pid {} awaited scheduling", self.me);
+            }
+            self.shared.cv.wait(&mut self.k);
+        }
+    }
+}
+
+/// Wraps a kernel function body with its entry/exit triggers, ground
+/// truth, and C call overhead.  Early returns inside `body` still fire
+/// the exit trigger because `body` is a closure.
+#[inline]
+pub fn kfn<'a, R>(ctx: &mut Ctx<'a>, f: KFn, body: impl FnOnce(&mut Ctx<'a>) -> R) -> R {
+    ctx.fn_enter(f);
+    let call = ctx.k.machine.cost.call_overhead;
+    ctx.k.machine.now += call;
+    let r = body(ctx);
+    ctx.fn_exit(f);
+    r
+}

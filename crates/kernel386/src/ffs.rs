@@ -1,0 +1,188 @@
+//! A small FFS-like filesystem plus the thin VFS layer (`namei`,
+//! `lookup`, `vn_read`, `vn_write`).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::bio::{bawrite, bread, brelse, getblk, BSIZE};
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::subr::{bcopy, copyin, copyout, CopyKind};
+
+/// One inode: size and the direct block list.
+#[derive(Debug, Default, Clone)]
+pub struct Inode {
+    /// File length in bytes.
+    pub size: u64,
+    /// Filesystem block numbers, one per `BSIZE` chunk.
+    pub blocks: Vec<u64>,
+}
+
+/// Filesystem blocks on the ST3144 (255255 sectors / 8 per block).
+pub const FS_BLOCKS: u64 = 31_900;
+
+/// The filesystem.
+#[derive(Debug)]
+pub struct Ffs {
+    /// Inodes by number.
+    pub inodes: Vec<Inode>,
+    /// Flat root directory.
+    pub root: HashMap<String, u32>,
+    allocated: std::collections::HashSet<u64>,
+    next_blk: u64,
+    writes_since_jump: u32,
+}
+
+impl Default for Ffs {
+    fn default() -> Self {
+        Ffs {
+            inodes: Vec::new(),
+            root: HashMap::new(),
+            allocated: std::collections::HashSet::new(),
+            next_blk: 64,
+            writes_since_jump: 0,
+        }
+    }
+}
+
+impl Ffs {
+    /// Creates a file; returns its inode number.
+    pub fn create(&mut self, name: &str) -> u32 {
+        let ino = self.inodes.len() as u32;
+        self.inodes.push(Inode::default());
+        self.root.insert(name.to_string(), ino);
+        ino
+    }
+}
+
+/// `lookup`: one directory-component search.
+pub fn lookup(ctx: &mut Ctx, name: &str) -> Option<u32> {
+    kfn(ctx, KFn::Lookup, |ctx| {
+        // Directory block scan.
+        ctx.t_us(20);
+        ctx.k.fs.ffs.root.get(name).copied()
+    })
+}
+
+/// `namei`: resolve a path to an inode.
+pub fn namei(ctx: &mut Ctx, path: &str) -> Option<u32> {
+    kfn(ctx, KFn::Namei, |ctx| {
+        ctx.t_us(14);
+        let mut ino = None;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            ino = lookup(ctx, comp);
+        }
+        ino
+    })
+}
+
+/// `ffs_balloc`: allocate the disk block backing logical block `lblk` of
+/// `ino`.  Allocation is mostly sequential with periodic cylinder-group
+/// jumps, so large files produce the seek pattern the paper's disk study
+/// shows.
+pub fn ffs_balloc(ctx: &mut Ctx, ino: u32, lblk: usize) -> u64 {
+    kfn(ctx, KFn::FfsBalloc, |ctx| {
+        ctx.t_us(15);
+        let inode = &ctx.k.fs.ffs.inodes[ino as usize];
+        if let Some(&b) = inode.blocks.get(lblk) {
+            return b;
+        }
+        ctx.k.fs.ffs.writes_since_jump += 1;
+        if ctx.k.fs.ffs.writes_since_jump >= 16 {
+            // New cylinder group: jump the allocator.
+            ctx.k.fs.ffs.writes_since_jump = 0;
+            let jump = ctx.k.rng.gen_range(2_000u64..20_000);
+            ctx.k.fs.ffs.next_blk = (ctx.k.fs.ffs.next_blk + jump) % FS_BLOCKS;
+            ctx.t_us(25);
+        }
+        // Claim the next free block, wrapping within the disk.
+        let b = loop {
+            let cand = (ctx.k.fs.ffs.next_blk % FS_BLOCKS).max(64);
+            ctx.k.fs.ffs.next_blk = cand + 1;
+            if ctx.k.fs.ffs.allocated.insert(cand) {
+                break cand;
+            }
+        };
+        let inode = &mut ctx.k.fs.ffs.inodes[ino as usize];
+        while inode.blocks.len() <= lblk {
+            inode.blocks.push(u64::MAX);
+        }
+        inode.blocks[lblk] = b;
+        b
+    })
+}
+
+/// `ffs_write`: write `data` at `offset`, whole-block oriented, with
+/// asynchronous writes (delayed-write FFS behaviour).
+pub fn ffs_write(ctx: &mut Ctx, ino: u32, offset: u64, data: &[u8]) {
+    kfn(ctx, KFn::FfsWrite, |ctx| {
+        let mut off = offset as usize;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let lblk = off / BSIZE;
+            let in_blk = off % BSIZE;
+            let take = rest.len().min(BSIZE - in_blk);
+            let blkno = ffs_balloc(ctx, ino, lblk);
+            let partial = take < BSIZE;
+            let buf = if partial {
+                // Read-modify-write for partial blocks.
+                bread(ctx, blkno)
+            } else {
+                getblk(ctx, blkno)
+            };
+            bcopy(ctx, take, CopyKind::MainToMain);
+            ctx.k.fs.bufs[buf].data[in_blk..in_blk + take].copy_from_slice(&rest[..take]);
+            ctx.k.fs.bufs[buf].valid = true;
+            bawrite(ctx, buf);
+            off += take;
+            rest = &rest[take..];
+            let isize = &mut ctx.k.fs.ffs.inodes[ino as usize].size;
+            *isize = (*isize).max(off as u64);
+        }
+    });
+}
+
+/// `ffs_read`: read `len` bytes at `offset` through the buffer cache.
+pub fn ffs_read(ctx: &mut Ctx, ino: u32, offset: u64, len: usize) -> Vec<u8> {
+    kfn(ctx, KFn::FfsRead, |ctx| {
+        let size = ctx.k.fs.ffs.inodes[ino as usize].size;
+        let end = (offset + len as u64).min(size);
+        let mut out = Vec::with_capacity(len);
+        let mut off = offset as usize;
+        while (off as u64) < end {
+            let lblk = off / BSIZE;
+            let in_blk = off % BSIZE;
+            let take = ((end - off as u64) as usize).min(BSIZE - in_blk);
+            ctx.t_us(5);
+            let blkno = ctx.k.fs.ffs.inodes[ino as usize].blocks[lblk];
+            let buf = bread(ctx, blkno);
+            bcopy(ctx, take, CopyKind::MainToMain);
+            out.extend_from_slice(&ctx.k.fs.bufs[buf].data[in_blk..in_blk + take]);
+            brelse(ctx, buf);
+            off += take;
+        }
+        out
+    })
+}
+
+/// `vn_read`: VNODE-layer read: filesystem read plus the copy to user
+/// space.
+pub fn vn_read(ctx: &mut Ctx, ino: u32, offset: u64, len: usize) -> Vec<u8> {
+    kfn(ctx, KFn::VnRead, |ctx| {
+        ctx.t_us(6);
+        let data = ffs_read(ctx, ino, offset, len);
+        copyout(ctx, data.len(), false);
+        data
+    })
+}
+
+/// `vn_write`: VNODE-layer write: copy from user space plus filesystem
+/// write.
+pub fn vn_write(ctx: &mut Ctx, ino: u32, offset: u64, data: &[u8]) {
+    kfn(ctx, KFn::VnWrite, |ctx| {
+        ctx.t_us(6);
+        copyin(ctx, data.len());
+        ffs_write(ctx, ino, offset, data);
+    });
+}

@@ -1,0 +1,255 @@
+//! The kernel's function table: every profiled routine, with the module
+//! it compiles in (the unit of selective profiling).
+//!
+//! Names are the 386BSD symbols the paper's figures show (`bcopy`,
+//! `in_cksum`, `werint`, `pmap_pte`, ...).  `swtch` carries the
+//! context-switch marker that becomes `!` in the name/tag file.
+
+use hwprof_instrument::{FuncMeta, InlineMeta};
+
+macro_rules! define_kfuncs {
+    ($($variant:ident : $name:literal, $module:literal $(, $cs:ident)? ;)+) => {
+        /// Identifier of one kernel function; indexes [`FUNCS`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u16)]
+        #[allow(missing_docs)]
+        pub enum KFn {
+            $($variant),+
+        }
+
+        /// Number of kernel functions.
+        pub const NFUNCS: usize = [$(stringify!($variant)),+].len();
+
+        /// Compiler-visible metadata, indexed by `KFn as usize`.
+        pub static FUNCS: [FuncMeta; NFUNCS] = [
+            $(FuncMeta {
+                name: $name,
+                module: $module,
+                context_switch: define_kfuncs!(@cs $($cs)?),
+            }),+
+        ];
+
+        impl KFn {
+            /// All functions in table order.
+            pub const ALL: [KFn; NFUNCS] = [$(KFn::$variant),+];
+        }
+    };
+    (@cs cs) => { true };
+    (@cs) => { false };
+}
+
+define_kfuncs! {
+    // Assembler support routines (locore.s and friends).
+    Swtch: "swtch", "locore", cs;
+    IsaIntr: "ISAINTR", "locore";
+    Bcopy: "bcopy", "locore";
+    Bcopyb: "bcopyb", "locore";
+    Bzero: "bzero", "locore";
+    Copyin: "copyin", "locore";
+    Copyout: "copyout", "locore";
+    Copyinstr: "copyinstr", "locore";
+    Splnet: "splnet", "locore";
+    Splimp: "splimp", "locore";
+    Splbio: "splbio", "locore";
+    Splclock: "splclock", "locore";
+    Splhigh: "splhigh", "locore";
+    Spl0: "spl0", "locore";
+    Splx: "splx", "locore";
+    Min: "min", "locore";
+    // Core kernel.
+    Tsleep: "tsleep", "kern";
+    Wakeup: "wakeup", "kern";
+    Setrunqueue: "setrunqueue", "kern";
+    Remrq: "remrq", "kern";
+    Hardclock: "hardclock", "kern";
+    Softclock: "softclock", "kern";
+    Gatherstats: "gatherstats", "kern";
+    Timeout: "timeout", "kern";
+    Untimeout: "untimeout", "kern";
+    Malloc: "malloc", "kern";
+    Free: "free", "kern";
+    Falloc: "falloc", "kern";
+    Fdalloc: "fdalloc", "kern";
+    KernExit: "exit", "kern";
+    Fork1: "fork1", "kern";
+    Execve: "execve", "kern";
+    // System call layer.
+    Syscall: "syscall", "sys";
+    SysRead: "read", "sys";
+    SysWrite: "write", "sys";
+    SysOpen: "open", "sys";
+    SysClose: "close", "sys";
+    SysVfork: "vfork", "sys";
+    SysWait4: "wait4", "sys";
+    SysMmap: "mmap", "sys";
+    // Networking.
+    Weintr: "weintr", "net";
+    Werint: "werint", "net";
+    Weread: "weread", "net";
+    Weget: "weget", "net";
+    Westart: "westart", "net";
+    Ipintr: "ipintr", "net";
+    IpOutput: "ip_output", "net";
+    InCksum: "in_cksum", "net";
+    TcpInput: "tcp_input", "net";
+    TcpOutput: "tcp_output", "net";
+    InPcblookup: "in_pcblookup", "net";
+    UdpInput: "udp_input", "net";
+    UdpOutput: "udp_output", "net";
+    Soreceive: "soreceive", "net";
+    Sosend: "sosend", "net";
+    Sbappend: "sbappend", "net";
+    Sowakeup: "sowakeup", "net";
+    MFree: "m_free", "net";
+    MFreem: "m_freem", "net";
+    NfsRequest: "nfs_request", "net";
+    NfsRead: "nfs_read", "net";
+    // Virtual memory.
+    VmFault: "vm_fault", "vm";
+    VmPageLookup: "vm_page_lookup", "vm";
+    PmapEnter: "pmap_enter", "vm";
+    PmapRemove: "pmap_remove", "vm";
+    PmapPte: "pmap_pte", "vm";
+    PmapProtect: "pmap_protect", "vm";
+    VmspaceFork: "vmspace_fork", "vm";
+    KmemAlloc: "kmem_alloc", "vm";
+    KmemFree: "kmem_free", "vm";
+    // File systems and block I/O.
+    Bread: "bread", "fs";
+    Bwrite: "bwrite", "fs";
+    Bawrite: "bawrite", "fs";
+    Getblk: "getblk", "fs";
+    Brelse: "brelse", "fs";
+    Biowait: "biowait", "fs";
+    Biodone: "biodone", "fs";
+    WdStrategy: "wdstrategy", "fs";
+    WdStart: "wdstart", "fs";
+    WdIntr: "wdintr", "fs";
+    FfsRead: "ffs_read", "fs";
+    FfsWrite: "ffs_write", "fs";
+    FfsBalloc: "ffs_balloc", "fs";
+    // VFS layer.
+    Namei: "namei", "vfs";
+    Lookup: "lookup", "vfs";
+    VnRead: "vn_read", "vfs";
+    VnWrite: "vn_write", "vfs";
+    // Device stubs.
+    ProfOpen: "profopen", "dev";
+    ProfMmap: "profmmap", "dev";
+}
+
+/// Inline trigger points (`=` tags) and the module controlling them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+#[allow(missing_docs)]
+pub enum KInline {
+    Mget,
+    Mclget,
+}
+
+/// Number of inline points.
+pub const NINLINES: usize = 2;
+
+/// Compiler-visible inline metadata, indexed by `KInline as usize`.
+pub static INLINES: [InlineMeta; NINLINES] = [
+    InlineMeta {
+        name: "MGET",
+        module: "net",
+    },
+    InlineMeta {
+        name: "MCLGET",
+        module: "net",
+    },
+];
+
+impl KFn {
+    /// Table index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Symbol name.
+    pub fn name(self) -> &'static str {
+        FUNCS[self.idx()].name
+    }
+
+    /// Source module.
+    pub fn module(self) -> &'static str {
+        FUNCS[self.idx()].module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_consistent() {
+        assert_eq!(FUNCS.len(), NFUNCS);
+        assert_eq!(KFn::ALL.len(), NFUNCS);
+        for (i, f) in KFn::ALL.iter().enumerate() {
+            assert_eq!(f.idx(), i);
+        }
+        assert_eq!(KFn::Swtch.name(), "swtch");
+        assert!(FUNCS[KFn::Swtch.idx()].context_switch);
+        assert!(!FUNCS[KFn::Bcopy.idx()].context_switch);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in &FUNCS {
+            assert!(seen.insert(f.name), "duplicate function {}", f.name);
+        }
+        for p in &INLINES {
+            assert!(seen.insert(p.name), "duplicate inline {}", p.name);
+        }
+    }
+
+    #[test]
+    fn paper_scale_function_count() {
+        // The paper's kernel had 1392 C functions; ours is a miniature,
+        // but every function its figures name must exist.
+        for want in [
+            "bcopy",
+            "in_cksum",
+            "splnet",
+            "soreceive",
+            "splx",
+            "malloc",
+            "werint",
+            "weget",
+            "free",
+            "westart",
+            "pmap_remove",
+            "pmap_pte",
+            "bcopyb",
+            "spl0",
+            "pmap_protect",
+            "vm_fault",
+            "vm_page_lookup",
+            "pmap_enter",
+            "bzero",
+            "swtch",
+            "tsleep",
+            "falloc",
+            "fdalloc",
+            "min",
+            "ISAINTR",
+            "weintr",
+            "weread",
+            "ipintr",
+            "tcp_input",
+            "in_pcblookup",
+            "hardclock",
+            "kmem_alloc",
+            "copyinstr",
+        ] {
+            assert!(
+                FUNCS.iter().any(|f| f.name == want),
+                "paper function {want} missing"
+            );
+        }
+    }
+}

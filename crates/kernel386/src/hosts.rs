@@ -1,0 +1,331 @@
+//! Remote-host models: the machines on the far end of the Ethernet.
+//!
+//! The paper used "a Sun Sparcstation 2 [...] as I was sure it could fill
+//! the available network bandwidth to the PC over an ethernet".  These
+//! models build real frames (valid checksums) and pace themselves at wire
+//! rate; their CPU time is free (it is not the machine under test).
+
+use hwprof_machine::wire::{frame_time, HostAction, RemoteHost};
+use hwprof_machine::Cycles;
+
+use crate::wire_fmt::{
+    self, build_ether, build_ipv4, build_tcp, build_udp, parse_ipv4, parse_udp, tcpflags,
+    ETHERTYPE_IP, ETHER_HDR, IPPROTO_TCP, IPPROTO_UDP, PC_IP, REMOTE_IP,
+};
+
+/// Deterministic payload byte at stream offset `off` (receivers verify
+/// integrity end to end with this).
+pub fn pattern_byte(off: u64) -> u8 {
+    ((off * 131 + 7) % 251) as u8
+}
+
+/// `len` pattern bytes starting at stream offset `off`.
+pub fn pattern(off: u64, len: usize) -> Vec<u8> {
+    (0..len as u64).map(|i| pattern_byte(off + i)).collect()
+}
+
+/// The SparcStation blaster: saturates the wire with an established TCP
+/// stream toward the PC.
+pub struct TcpBlaster {
+    /// Remote port.
+    pub sport: u16,
+    /// The PC's listening port.
+    pub dport: u16,
+    /// Payload bytes per segment (1460 fills an Ethernet frame).
+    pub mss: usize,
+    /// Stop after this many payload bytes (`u64::MAX` = run forever).
+    pub total: u64,
+    sent: u64,
+    acked: u64,
+    sending: bool,
+    dup_acks: u32,
+    rto_armed: bool,
+    peer_window: u64,
+    /// ACK segments seen from the PC.
+    pub acks_seen: u64,
+    /// Initial quiet period before the first frame.
+    pub start_delay: Cycles,
+    /// Extra idle time between frames (0 = saturate the wire, the
+    /// paper's experiment; larger = stay within the PC's capacity).
+    pub gap: Cycles,
+    /// Send window in segments: at most this many unacknowledged
+    /// segments in flight (real TCP flow control — the ACK clock paces
+    /// the sender down to the receiver's CPU speed, which is how the
+    /// paper's PC ended up 100% busy *below* Ethernet throughput rather
+    /// than drowned).  `usize::MAX` disables flow control.
+    pub window_segs: usize,
+}
+
+impl TcpBlaster {
+    /// A wire-saturating blaster sending `total` bytes in `mss`-byte
+    /// segments back to back.
+    pub fn new(dport: u16, mss: usize, total: u64) -> Self {
+        TcpBlaster {
+            sport: 2000,
+            dport,
+            mss,
+            total,
+            sent: 0,
+            acked: 0,
+            sending: false,
+            dup_acks: 0,
+            rto_armed: false,
+            peer_window: 16 * 1024,
+            acks_seen: 0,
+            start_delay: 40_000, // 1 ms
+            gap: 0,
+            // A 1993-vintage ~4 KiB send window: three full segments in
+            // flight, which the 4-frame card ring can absorb.
+            window_segs: 3,
+        }
+    }
+
+    /// A paced blaster leaving `gap_us` of wire idle between frames, so
+    /// a receiver slower than the wire still sees every byte.
+    pub fn paced(dport: u16, mss: usize, total: u64, gap_us: u64) -> Self {
+        let mut b = Self::new(dport, mss, total);
+        b.gap = gap_us * 40;
+        b
+    }
+
+    /// Retransmission timeout (go-back-N recovery for frames the
+    /// overrun ring dropped).
+    const RTO: Cycles = 60 * 40_000; // 60 ms
+
+    fn next_frame(&mut self, now: Cycles) -> Vec<HostAction> {
+        if self.sent >= self.total && self.acked >= self.total.min(u32::MAX as u64) {
+            self.sending = false;
+            return Vec::new();
+        }
+        if self.sent >= self.total {
+            // Everything sent but not yet acknowledged: arm recovery.
+            self.sending = false;
+            return self.arm_rto(now);
+        }
+        // Window check: stall until ACKs open it; on_tx restarts us, or
+        // the retransmit timer recovers losses.  Both the configured
+        // in-flight cap and the receiver's advertised window apply.
+        let window = (self.window_segs as u64)
+            .saturating_mul(self.mss as u64)
+            .min(self.peer_window);
+        if self.sent >= self.acked.saturating_add(window) {
+            self.sending = false;
+            return self.arm_rto(now);
+        }
+        self.sending = true;
+        let len = self.mss.min((self.total - self.sent) as usize);
+        let payload = pattern(self.sent, len);
+        let push = self.sent + len as u64 >= self.total;
+        let seg = build_tcp(
+            REMOTE_IP,
+            PC_IP,
+            self.sport,
+            self.dport,
+            self.sent as u32,
+            0,
+            if push {
+                tcpflags::ACK | tcpflags::PSH
+            } else {
+                tcpflags::ACK
+            },
+            &payload,
+        );
+        self.sent += len as u64;
+        let packet = build_ipv4(IPPROTO_TCP, REMOTE_IP, PC_IP, &seg);
+        let frame = build_ether(ETHERTYPE_IP, &packet);
+        let arrive = now + frame_time(frame.len());
+        vec![
+            HostAction::SendFrame {
+                at: arrive,
+                bytes: frame,
+            },
+            HostAction::Timer {
+                at: arrive + self.gap,
+                token: 1,
+            },
+        ]
+    }
+}
+
+impl TcpBlaster {
+    fn arm_rto(&mut self, now: Cycles) -> Vec<HostAction> {
+        if self.rto_armed || self.acked >= self.total {
+            return Vec::new();
+        }
+        self.rto_armed = true;
+        vec![HostAction::Timer {
+            at: now + Self::RTO,
+            token: 2,
+        }]
+    }
+}
+
+impl RemoteHost for TcpBlaster {
+    fn start(&mut self, now: Cycles) -> Vec<HostAction> {
+        let at = now + self.start_delay;
+        vec![HostAction::Timer { at, token: 1 }]
+    }
+
+    fn on_tx(&mut self, frame: &[u8], now: Cycles) -> Vec<HostAction> {
+        if frame.len() >= ETHER_HDR {
+            if let Some(v) = parse_ipv4(&frame[ETHER_HDR..]) {
+                if v.proto == IPPROTO_TCP {
+                    self.acks_seen += 1;
+                    if let Some(th) = wire_fmt::parse_tcp(&frame[ETHER_HDR + wire_fmt::IP_HDR..]) {
+                        let ack = u64::from(th.ack);
+                        self.peer_window = u64::from(th.window);
+                        if ack > self.acked {
+                            self.acked = ack;
+                            self.dup_acks = 0;
+                        } else if ack == self.acked && self.sent > self.acked {
+                            self.dup_acks += 1;
+                            if self.dup_acks >= 2 {
+                                // Fast retransmit: go back to the hole.
+                                self.dup_acks = 0;
+                                self.sent = self.acked;
+                            }
+                        }
+                    }
+                    // The window may have opened (or a hole re-opened
+                    // sending); resume.
+                    if !self.sending {
+                        return self.next_frame(now);
+                    }
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, token: u64, now: Cycles) -> Vec<HostAction> {
+        if token == 2 {
+            self.rto_armed = false;
+            if self.acked < self.total && !self.sending && self.sent > self.acked {
+                // Timeout: go-back-N from the last acknowledged byte.
+                self.sent = self.acked;
+                return self.next_frame(now);
+            }
+            return Vec::new();
+        }
+        self.next_frame(now)
+    }
+}
+
+/// An NFS server: answers read RPCs with pattern data after a fixed
+/// service time.
+pub struct NfsServer {
+    /// Server-side service latency per request.
+    pub service: Cycles,
+    /// Requests served.
+    pub requests: u64,
+    /// Send UDP checksums on replies (off in period deployments).
+    pub with_cksum: bool,
+}
+
+impl NfsServer {
+    /// A server with `service_us` of per-request latency.
+    pub fn new(service_us: u64, with_cksum: bool) -> Self {
+        NfsServer {
+            service: service_us * 40,
+            requests: 0,
+            with_cksum,
+        }
+    }
+}
+
+impl RemoteHost for NfsServer {
+    fn start(&mut self, _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+
+    fn on_tx(&mut self, frame: &[u8], now: Cycles) -> Vec<HostAction> {
+        if frame.len() < ETHER_HDR {
+            return Vec::new();
+        }
+        let ip = &frame[ETHER_HDR..];
+        let Some(v) = parse_ipv4(ip) else {
+            return Vec::new();
+        };
+        if v.proto != IPPROTO_UDP || v.dst != REMOTE_IP {
+            return Vec::new();
+        }
+        let udp = &ip[wire_fmt::IP_HDR..v.total_len as usize];
+        let Some(uh) = parse_udp(udp) else {
+            return Vec::new();
+        };
+        if uh.dport != crate::nfs::NFS_SERVER_PORT {
+            return Vec::new();
+        }
+        let body = &udp[wire_fmt::UDP_HDR..];
+        if body.len() < 24 {
+            return Vec::new();
+        }
+        let xid = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+        let offset = u64::from_be_bytes([
+            body[12], body[13], body[14], body[15], body[16], body[17], body[18], body[19],
+        ]);
+        let count = u32::from_be_bytes([body[20], body[21], body[22], body[23]]);
+        self.requests += 1;
+        let mut reply = Vec::with_capacity(4 + count as usize);
+        reply.extend_from_slice(&xid.to_be_bytes());
+        reply.extend_from_slice(&pattern(offset, count as usize));
+        let dgram = build_udp(
+            REMOTE_IP,
+            PC_IP,
+            crate::nfs::NFS_SERVER_PORT,
+            uh.sport,
+            &reply,
+            self.with_cksum,
+        );
+        let packet = build_ipv4(IPPROTO_UDP, REMOTE_IP, PC_IP, &dgram);
+        let out = build_ether(ETHERTYPE_IP, &packet);
+        let at = now + self.service + frame_time(out.len());
+        vec![HostAction::SendFrame { at, bytes: out }]
+    }
+
+    fn on_timer(&mut self, _token: u64, _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+}
+
+/// A host that sends one crafted frame and goes quiet (fault-injection
+/// and single-packet trace tests).
+pub struct OneFrame {
+    /// The frame to deliver.
+    pub frame: Vec<u8>,
+    /// Delay before delivery.
+    pub delay: Cycles,
+}
+
+impl RemoteHost for OneFrame {
+    fn start(&mut self, now: Cycles) -> Vec<HostAction> {
+        vec![HostAction::SendFrame {
+            at: now + self.delay,
+            bytes: std::mem::take(&mut self.frame),
+        }]
+    }
+
+    fn on_tx(&mut self, _frame: &[u8], _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, _token: u64, _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+}
+
+/// Builds a complete TCP data frame toward the PC (test helper).
+pub fn tcp_data_frame(dport: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let seg = build_tcp(
+        REMOTE_IP,
+        PC_IP,
+        2000,
+        dport,
+        seq,
+        0,
+        tcpflags::ACK | tcpflags::PSH,
+        payload,
+    );
+    let packet = build_ipv4(IPPROTO_TCP, REMOTE_IP, PC_IP, &seg);
+    build_ether(ETHERTYPE_IP, &packet)
+}

@@ -1,0 +1,196 @@
+//! The `we` driver for the WD8003E 8-bit shared-memory Ethernet card.
+//!
+//! This is the paper's chief villain: "a major bottleneck occurs because
+//! the Ethernet driver for the card must copy that data from the onboard
+//! controller memory across the bus; each TCP data packet that was
+//! received (i.e a full Ethernet packet) took about 1045 microseconds to
+//! process at the driver level."
+//!
+//! Configuration hooks:
+//! * `external_mbufs` — the paper's what-if: skip the driver copy and
+//!   hand the stack mbufs that point into controller memory (all later
+//!   touches pay ISA rates).
+//! * `driver_word_copy` — the 68020 case-study recode: copy with wide
+//!   bursts at roughly half the per-byte cost.
+
+use hwprof_machine::wd::isr;
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::ip;
+use crate::mbuf::{m_clget, m_get, Chain, DataLoc, MCLBYTES, MLEN};
+use crate::subr::{bcopy, CopyKind};
+use crate::wire_fmt::{ETHERTYPE_IP, ETHER_HDR};
+
+/// `westart`: kick the transmitter if idle.
+pub fn westart(ctx: &mut Ctx) {
+    kfn(ctx, KFn::Westart, |ctx| {
+        ctx.t_us(4);
+        let busy = ctx.k.machine.wd.as_ref().is_none_or(|c| c.tx_busy);
+        if busy {
+            return;
+        }
+        let Some(frame) = ctx.k.net.if_snd.pop_front() else {
+            return;
+        };
+        // Claim the transmitter *before* the slow ISA copy: an interrupt
+        // arriving mid-copy re-enters westart and must see it busy.
+        ctx.k.machine.wd.as_mut().expect("checked above").tx_busy = true;
+        bcopy(ctx, frame.len(), CopyKind::MainToIsa);
+        ctx.k
+            .machine
+            .wd
+            .as_mut()
+            .expect("checked above")
+            .load_tx(&frame);
+        ctx.charge(ctx.k.machine.cost.io_port * 2);
+        ctx.k.machine.wd_start_tx();
+        ctx.k.stats.packets_out += 1;
+    });
+}
+
+/// `weget`: pull one frame out of the ring into an mbuf chain.
+///
+/// Returns the chain holding the frame bytes (ether header included).
+pub fn weget(ctx: &mut Ctx, frame: &[u8]) -> Chain {
+    kfn(ctx, KFn::Weget, |ctx| {
+        ctx.t_us(3);
+        let external = ctx.k.config.external_mbufs;
+        let mut chain = Chain::new();
+        let mut off = 0usize;
+        while off < frame.len() {
+            let mut m = m_get(
+                ctx,
+                if external {
+                    DataLoc::IsaShared
+                } else {
+                    DataLoc::Main
+                },
+            );
+            let room = if frame.len() - off > MLEN {
+                m_clget(ctx, &mut m);
+                MCLBYTES
+            } else {
+                MLEN
+            };
+            let take = room.min(frame.len() - off);
+            if external {
+                // No copy: the mbuf references controller memory.  Only
+                // the descriptor setup costs anything here; the bytes are
+                // paid for when the stack touches them.
+                ctx.t_us(5);
+            } else if ctx.k.config.driver_word_copy {
+                // The recoded copy: 16-bit moves, unrolled, no per-byte
+                // loop overhead — about a third of the naive byte loop
+                // (the 68020-study recode that doubled throughput).
+                let c = ctx.k.machine.cost.bcopy_isa8(take) / 3;
+                kfn(ctx, KFn::Bcopy, |ctx| ctx.charge(c));
+            } else {
+                bcopy(ctx, take, CopyKind::IsaToMain);
+            }
+            m.data.extend_from_slice(&frame[off..off + take]);
+            off += take;
+            chain.push(m);
+        }
+        chain
+    })
+}
+
+/// `weread`: validate one received frame and hand it to the protocol
+/// input queue.
+pub fn weread(ctx: &mut Ctx, page: u8, len: u16) {
+    kfn(ctx, KFn::Weread, |ctx| {
+        ctx.t_us(4);
+        // Pull the frame image (the copy cost is charged inside weget;
+        // grabbing the bytes here is simulation bookkeeping).
+        let mut frame = Vec::new();
+        ctx.k
+            .machine
+            .wd
+            .as_ref()
+            .expect("no card")
+            .copy_frame(page, len, &mut frame);
+        if frame.len() < ETHER_HDR {
+            return;
+        }
+        let mut chain = weget(ctx, &frame);
+        // Strip the Ethernet header off the front of the chain and
+        // dispatch on ethertype.
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+        let first = &mut chain[0];
+        first.data.drain(..ETHER_HDR.min(first.data.len()));
+        if ethertype == ETHERTYPE_IP {
+            // IF_ENQUEUE runs under splimp.
+            let s = crate::spl::splimp(ctx);
+            ctx.k.net.ipq.push_back(chain);
+            ip::schednetisr_ip(ctx);
+            crate::spl::splx(ctx, s);
+        } else {
+            crate::mbuf::m_freem(ctx, chain);
+        }
+    });
+}
+
+/// `werint`: drain the receive ring, up to the ring pointer sampled at
+/// interrupt time.  Frames that arrive while we drain are left for the
+/// next interrupt — the 8390's `curr` register is read once — which
+/// also means a saturating wire overruns the ring while the stack is
+/// busy, exactly the drop behaviour the paper's test provoked.
+pub fn werint(ctx: &mut Ctx) {
+    kfn(ctx, KFn::Werint, |ctx| {
+        let stop = match ctx.k.machine.wd.as_ref() {
+            Some(card) => card.curr,
+            None => return,
+        };
+        ctx.charge(ctx.k.machine.cost.io_port);
+        loop {
+            let hdr = {
+                let Some(card) = ctx.k.machine.wd.as_ref() else {
+                    return;
+                };
+                if card.boundary == stop || !card.has_frame() {
+                    break;
+                }
+                card.recv_header(card.boundary)
+            };
+            // Reading the 4-byte receive header costs four ISA accesses.
+            let c = ctx.k.machine.cost.isa8_byte * 4 + ctx.k.machine.cost.tick;
+            ctx.charge(c);
+            let page = ctx.k.machine.wd.as_ref().expect("checked").boundary;
+            if hdr.status & 1 == 1 {
+                ctx.k.stats.packets_in += 1;
+                weread(ctx, page, hdr.len);
+            }
+            ctx.k
+                .machine
+                .wd
+                .as_mut()
+                .expect("checked")
+                .set_boundary(hdr.next_page);
+            ctx.charge(ctx.k.machine.cost.io_port);
+        }
+    });
+}
+
+/// `weintr`: the card's interrupt handler.
+pub fn weintr(ctx: &mut Ctx) {
+    kfn(ctx, KFn::Weintr, |ctx| {
+        ctx.t_us(3);
+        let isr_bits = match ctx.k.machine.wd.as_mut() {
+            Some(card) => card.ack_isr(),
+            None => return,
+        };
+        // Reading and acking the status register: a few ISA pokes.
+        let c = ctx.k.machine.cost.io_port * 2;
+        ctx.charge(c);
+        if isr_bits & (isr::PRX | isr::OVW) != 0 {
+            werint(ctx);
+        }
+        if isr_bits & isr::PTX != 0 {
+            // Transmitter finished; push the next frame if queued.
+            if !ctx.k.net.if_snd.is_empty() {
+                westart(ctx);
+            }
+        }
+    });
+}

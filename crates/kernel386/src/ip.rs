@@ -1,0 +1,95 @@
+//! `ipintr` and `ip_output`: the IP layer plus the emulated soft network
+//! interrupt.
+//!
+//! The 386/ISA architecture has no software interrupts, so 386BSD emulates
+//! them: drivers set the `netisr` bit and the emulation runs `ipintr`
+//! when the priority level next drops below `splnet` — inside `spl0`,
+//! `splx`, or at the tail of `ISAINTR`.  That emulation is the ~24 µs
+//! per-interrupt overhead the paper calls out.
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::if_we::westart;
+use crate::in_cksum::in_cksum;
+use crate::mbuf::{chain_bytes, m_freem, DataLoc, Mbuf};
+use crate::spl::{splnet, splx};
+use crate::wire_fmt::{
+    self, build_ether, parse_ipv4, ETHERTYPE_IP, IPPROTO_TCP, IPPROTO_UDP, IP_HDR,
+};
+
+/// Marks the soft network interrupt pending.
+pub fn schednetisr_ip(ctx: &mut Ctx) {
+    ctx.k.net.netisr_ip = true;
+}
+
+/// Runs pending soft network work, once, re-entry safe.  Called wherever
+/// the emulated priority drops below `splnet`.
+pub fn run_netisr(ctx: &mut Ctx) {
+    if ctx.k.net.in_softint || !ctx.k.net.netisr_ip {
+        return;
+    }
+    ctx.k.net.in_softint = true;
+    while ctx.k.net.netisr_ip {
+        ctx.k.net.netisr_ip = false;
+        ipintr(ctx);
+    }
+    ctx.k.net.in_softint = false;
+}
+
+/// Alias used at the `ISAINTR` tail (same semantics; reads better at the
+/// call site).
+pub fn run_netisr_here(ctx: &mut Ctx) {
+    run_netisr(ctx);
+}
+
+/// `ipintr`: drain the IP input queue.
+pub fn ipintr(ctx: &mut Ctx) {
+    kfn(ctx, KFn::Ipintr, |ctx| {
+        loop {
+            let s = splnet(ctx);
+            let pkt = ctx.k.net.ipq.pop_front();
+            splx(ctx, s);
+            let Some(chain) = pkt else { break };
+            // Header parse and sanity checks.
+            ctx.t_us(7);
+            let head = chain_bytes(&chain);
+            let Some(view) = parse_ipv4(&head) else {
+                m_freem(ctx, chain);
+                continue;
+            };
+            // Verify the IP header checksum (first in_cksum of the
+            // packet; sums to zero when intact).
+            if in_cksum(ctx, &chain, IP_HDR, 0) != 0 {
+                ctx.k.stats.cksum_drops += 1;
+                m_freem(ctx, chain);
+                continue;
+            }
+            match view.proto {
+                IPPROTO_TCP => crate::tcp::tcp_input(ctx, chain, view),
+                IPPROTO_UDP => crate::udp::udp_input(ctx, chain, view),
+                _ => m_freem(ctx, chain),
+            }
+        }
+    });
+}
+
+/// `ip_output`: wrap `payload` in an IP header and hand the frame to the
+/// interface queue.
+pub fn ip_output(ctx: &mut Ctx, proto: u8, dst: u32, payload: Vec<u8>) {
+    kfn(ctx, KFn::IpOutput, |ctx| {
+        ctx.t_us(10);
+        let packet = wire_fmt::build_ipv4(proto, wire_fmt::PC_IP, dst, &payload);
+        // The header checksum the builder filled in is charged as an
+        // in_cksum over the header.
+        let hdr_chain = vec![Mbuf {
+            data: packet[..IP_HDR].to_vec(),
+            loc: DataLoc::Main,
+        }];
+        let _ = in_cksum(ctx, &hdr_chain, IP_HDR, 0);
+        let frame = build_ether(ETHERTYPE_IP, &packet);
+        let s = splnet(ctx);
+        ctx.k.net.if_snd.push_back(frame);
+        splx(ctx, s);
+        westart(ctx);
+    });
+}

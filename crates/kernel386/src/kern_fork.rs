@@ -1,0 +1,118 @@
+//! `fork1` / `vfork`: process duplication.
+//!
+//! The paper measured ~24 ms for a vfork of a shell-sized process, with
+//! `pmap_pte` called ~1053 times — two walks over the image: the COW
+//! write-protect pass and the residency scan.  Both walks are reproduced
+//! through the profiled `pmap_pte`.
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::pmap::{pmap_protect, pmap_pte, PAGE_SIZE};
+use crate::proc::Pid;
+use crate::sched::setrunqueue;
+use crate::sim::spawn_proc_thread;
+use crate::subr::bcopy;
+use crate::synch::tsleep;
+use crate::user::UserProgram;
+
+/// Sleep channel the vfork parent blocks on until the child execs or
+/// exits.
+pub fn vfork_chan(child: Pid) -> u64 {
+    0x7000_0000 + child as u64
+}
+
+/// Sleep channel a parent's `wait4` blocks on.
+pub fn wait_chan(parent: Pid) -> u64 {
+    0x7100_0000 + parent as u64
+}
+
+/// `vmspace_fork`: duplicate the parent's address space copy-on-write.
+///
+/// Returns the child's vmspace.  For vfork the child *shares* the space
+/// (refcnt bump) but 386BSD still pays the full COW preparation on the
+/// real fork path this models: a write-protect walk plus a residency
+/// scan, each touching every page through `pmap_pte`.
+pub fn vmspace_fork(ctx: &mut Ctx, parent_vs: u32, share: bool) -> u32 {
+    kfn(ctx, KFn::VmspaceFork, |ctx| {
+        ctx.t_us(30);
+        if share {
+            ctx.k.vm.space_mut(parent_vs).refcnt += 1;
+        }
+        let entries = ctx.k.vm.space(parent_vs).map.clone();
+        let child_vs = if share {
+            parent_vs
+        } else {
+            ctx.k.vm.alloc_space()
+        };
+        for e in &entries {
+            // Shadow-object setup for the entry.
+            ctx.t_us(26);
+            crate::malloc::malloc(ctx, 64);
+            if e.writable {
+                // COW pass: write-protect the parent's pages (walk 1).
+                pmap_protect(ctx, parent_vs, e.start, e.end);
+            }
+            // Residency scan (walk 2): gather which pages are resident
+            // so the shadow object knows what it must cover.  The
+            // per-page object bookkeeping is the Mach glue the paper
+            // blames for the 24 ms vfork.
+            let mut va = e.start;
+            while va < e.end {
+                let _ = pmap_pte(ctx, parent_vs, va);
+                ctx.t_us(13);
+                va = va.wrapping_add(PAGE_SIZE);
+            }
+            if !share {
+                let mut ce = *e;
+                ce.cow = true;
+                ctx.k.vm.space_mut(child_vs).map.push(ce);
+            }
+        }
+        if !share {
+            ctx.k.vm.space_mut(child_vs).refcnt = 1;
+        }
+        child_vs
+    })
+}
+
+/// `fork1`: create a child process running `child_prog`.
+///
+/// With `vfork = true` the parent blocks until the child execs or exits
+/// (the 386BSD vfork contract).  Returns the child pid.
+pub fn fork1(ctx: &mut Ctx, name: &str, child_prog: UserProgram, vfork: bool) -> Pid {
+    kfn(ctx, KFn::Fork1, |ctx| {
+        // Proc structure allocation and credential/limit duplication.
+        ctx.t_us(45);
+        crate::malloc::malloc(ctx, 256);
+        let me = ctx.me;
+        let parent_vs = ctx.k.procs.get(me).vmspace;
+        let child = ctx.k.procs.alloc(me, name);
+        ctx.k.live_procs += 1;
+        // Duplicate the U-area and kernel stack.
+        bcopy(ctx, 12 * 1024, crate::subr::CopyKind::MainToMain);
+        // Duplicate descriptors.
+        let fds = ctx.k.procs.get(me).fds.clone();
+        let nfds = fds.iter().flatten().count() as u64;
+        ctx.t_us(6 + nfds * 4);
+        for &f in fds.iter().flatten() {
+            ctx.k.files.get_mut(f).refcnt += 1;
+        }
+        ctx.k.procs.get_mut(child).fds = fds;
+        // Address space.
+        let child_vs = if parent_vs == u32::MAX {
+            u32::MAX
+        } else {
+            vmspace_fork(ctx, parent_vs, vfork)
+        };
+        ctx.k.procs.get_mut(child).vmspace = child_vs;
+        // Manufacture the child's kernel context and start its thread.
+        ctx.t_us(22);
+        spawn_proc_thread(ctx.shared.clone(), child, child_prog);
+        setrunqueue(ctx, child);
+        if vfork {
+            // The parent loans its address space: sleep until exec/exit.
+            tsleep(ctx, vfork_chan(child), 0);
+        }
+        child
+    })
+}

@@ -1,0 +1,65 @@
+//! A miniature, *executing* 386BSD-style kernel: the profiling target.
+//!
+//! The paper profiled 386BSD 0.1 on a 40 MHz 386.  This crate rebuilds the
+//! parts of that kernel the paper's experiments exercise, as real running
+//! code on the virtual machine of `hwprof-machine`:
+//!
+//! * processes on OS threads with a single run token, so `tsleep` blocks
+//!   in the middle of a deep kernel call stack and `swtch` hands control
+//!   over exactly as the BSD scheduler does — which is what makes the
+//!   Profiler's context-switch discontinuities appear in captures;
+//! * the spl interrupt-priority emulation (slow PIC pokes, software
+//!   interrupt emulation on `spl0`/`splx`) whose cost the paper measures;
+//! * hardclock/softclock with the AST-emulation overhead;
+//! * mbufs, the WD8003E `we` driver, IP/TCP/UDP input with a real
+//!   Internet checksum, and the socket layer;
+//! * the i386 pmap (real two-level page tables), `vm_fault`, and the
+//!   fork/exec paths whose pmap traffic dominates Figure 5;
+//! * a buffer cache, a small FFS-like filesystem and the `wd` IDE driver.
+//!
+//! Every kernel function is wrapped in [`kfn`], which fires the
+//! Profiler entry/exit triggers when the function's module was compiled
+//! with profiling (see `hwprof-instrument`) and always maintains the
+//! ground-truth time oracle (`ktrace`) the analysis software is tested
+//! against.
+
+pub mod bio;
+pub mod clock;
+pub mod ctx;
+pub mod ffs;
+pub mod funcs;
+pub mod hosts;
+pub mod if_we;
+pub mod in_cksum;
+pub mod ip;
+pub mod kern_descrip;
+pub mod kern_exec;
+pub mod kern_fork;
+pub mod kernel;
+pub mod ktrace;
+pub mod malloc;
+pub mod mbuf;
+pub mod nfs;
+pub mod pmap;
+pub mod proc;
+pub mod profdev;
+pub mod sched;
+pub mod sim;
+pub mod socket;
+pub mod spl;
+pub mod subr;
+pub mod synch;
+pub mod syscall;
+pub mod tcp;
+pub mod trap;
+pub mod udp;
+pub mod user;
+pub mod vm;
+pub mod wd_disk;
+pub mod wire_fmt;
+
+pub use ctx::{kfn, Ctx};
+pub use funcs::{KFn, FUNCS, INLINES};
+pub use kernel::{Kernel, KernelConfig};
+pub use proc::{Pid, Proc, ProcState};
+pub use sim::{Sim, SimBuilder};

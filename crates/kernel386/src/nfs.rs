@@ -1,0 +1,91 @@
+//! A minimal NFS client: RPC reads over UDP.
+//!
+//! Enough of the Sun RPC shape to reproduce the paper's observation that
+//! NFS (UDP, checksums off) moves data with *less* CPU overhead than an
+//! FTP-style TCP stream (checksummed), and to measure request/reply turn
+//! around times "to see how long to formulate the request, send it and
+//! then how long to process the reply".
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::malloc::{free, malloc};
+use crate::synch::tsleep;
+use crate::udp::{nfs_chan, udp_output};
+use crate::wire_fmt::{IPPROTO_UDP, REMOTE_IP};
+
+/// The client's UDP port for NFS traffic.
+pub const NFS_CLIENT_PORT: u16 = 1023;
+/// The server's port.
+pub const NFS_SERVER_PORT: u16 = 2049;
+/// Read-request chunk size.
+pub const NFS_RSIZE: usize = 1024;
+
+/// Ensures the NFS client pcb exists; returns its index.
+fn nfs_pcb(ctx: &mut Ctx) -> usize {
+    if let Some(i) = ctx
+        .k
+        .net
+        .pcbs
+        .iter()
+        .position(|p| p.proto == IPPROTO_UDP && p.lport == NFS_CLIENT_PORT)
+    {
+        return i;
+    }
+    let sock = ctx.k.net.socreate(IPPROTO_UDP, NFS_CLIENT_PORT);
+    ctx.k.net.sockets[sock].pcb
+}
+
+/// `nfs_request`: one RPC round trip.  Builds the request, transmits it,
+/// sleeps for the reply, and returns the reply payload (after the xid).
+pub fn nfs_request(ctx: &mut Ctx, op: u32, fid: u32, offset: u64, count: u32) -> Vec<u8> {
+    kfn(ctx, KFn::NfsRequest, |ctx| {
+        ctx.t_us(20); // XDR encode
+        malloc(ctx, 160);
+        let xid = {
+            ctx.k.net.nfs_xid += 1;
+            ctx.k.net.nfs_xid
+        };
+        let mut req = Vec::with_capacity(24);
+        req.extend_from_slice(&xid.to_be_bytes());
+        req.extend_from_slice(&op.to_be_bytes());
+        req.extend_from_slice(&fid.to_be_bytes());
+        req.extend_from_slice(&offset.to_be_bytes());
+        req.extend_from_slice(&count.to_be_bytes());
+        let pcb = nfs_pcb(ctx);
+        udp_output(ctx, pcb, req, REMOTE_IP, NFS_SERVER_PORT);
+        // Wait for udp_input to post the reply.
+        let ticks = loop {
+            if ctx.k.net.nfs_replies.contains_key(&xid) {
+                break 0;
+            }
+            if tsleep(ctx, nfs_chan(xid), 200) {
+                break 200;
+            }
+        };
+        assert_eq!(ticks, 0, "NFS request xid {xid} timed out");
+        let reply = ctx.k.net.nfs_replies.remove(&xid).expect("present");
+        free(ctx, 160);
+        ctx.t_us(12); // XDR decode
+        reply[4..].to_vec()
+    })
+}
+
+/// `nfs_read`: read `len` bytes of file `fid` starting at `offset`,
+/// copying the data to the caller.  Returns the bytes.
+pub fn nfs_read(ctx: &mut Ctx, fid: u32, mut offset: u64, len: usize) -> Vec<u8> {
+    kfn(ctx, KFn::NfsRead, |ctx| {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let want = (len - out.len()).min(NFS_RSIZE) as u32;
+            let data = nfs_request(ctx, 1, fid, offset, want);
+            if data.is_empty() {
+                break;
+            }
+            // Copy into the caller's buffer.
+            crate::subr::copyout(ctx, data.len(), false);
+            offset += data.len() as u64;
+            out.extend_from_slice(&data);
+        }
+        out
+    })
+}

@@ -1,0 +1,164 @@
+//! The i386 pmap: real two-level page tables.
+//!
+//! Figure 5's headline: "it is clear that the pmap module is a bottleneck
+//! when manipulation of the virtual memory is required [...] pmap_pte is
+//! called 1053 times when a fork is executed, and a similar amount when
+//! an exec is done.  There is a major amount of cross-calling between the
+//! pmap module, and the rest of the virtual memory subsystem."
+//!
+//! The cross-calling is reproduced structurally: `pmap_enter`,
+//! `pmap_remove` and `pmap_protect` all walk through the *profiled*
+//! `pmap_pte`, so the call-count explosion appears in captures exactly as
+//! in the paper.
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::vm::kmem_alloc_pages;
+
+/// Page size.
+pub const PAGE_SIZE: u32 = 4096;
+/// PTE valid bit.
+pub const PG_V: u32 = 0x001;
+/// PTE writable bit.
+pub const PG_RW: u32 = 0x002;
+
+/// A second-level page table: 1024 PTEs covering 4 MiB.
+pub type PageTable = Box<[u32; 1024]>;
+
+/// One address space's page tables.
+#[derive(Debug, Default)]
+pub struct Pmap {
+    tables: std::collections::BTreeMap<u32, PageTable>,
+    /// Resident (valid) mappings.
+    pub resident: u32,
+}
+
+impl Pmap {
+    /// Empty pmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pde(va: u32) -> u32 {
+        va >> 22
+    }
+
+    fn pti(va: u32) -> usize {
+        ((va >> 12) & 0x3ff) as usize
+    }
+
+    /// Raw PTE read (no cost; used by the profiled walker and tests).
+    pub fn pte(&self, va: u32) -> u32 {
+        self.tables
+            .get(&Self::pde(va))
+            .map_or(0, |t| t[Self::pti(va)])
+    }
+
+    /// Raw PTE write; the directory slot must exist.
+    fn set_pte(&mut self, va: u32, val: u32) {
+        let t = self
+            .tables
+            .get_mut(&Self::pde(va))
+            .expect("page table missing");
+        let old = t[Self::pti(va)];
+        t[Self::pti(va)] = val;
+        match (old & PG_V != 0, val & PG_V != 0) {
+            (false, true) => self.resident += 1,
+            (true, false) => self.resident -= 1,
+            _ => {}
+        }
+    }
+
+    /// True if a second-level table covers `va`.
+    pub fn has_table(&self, va: u32) -> bool {
+        self.tables.contains_key(&Self::pde(va))
+    }
+
+    fn add_table(&mut self, va: u32) {
+        self.tables.insert(Self::pde(va), Box::new([0u32; 1024]));
+    }
+}
+
+/// `pmap_pte`: walk the directory and table for `va` in vmspace `vs`;
+/// returns the PTE value (0 if unmapped).  ~3 µs: two memory indirections
+/// plus checks (Figure 5: avg 3 µs over 5549 calls).
+pub fn pmap_pte(ctx: &mut Ctx, vs: u32, va: u32) -> u32 {
+    kfn(ctx, KFn::PmapPte, |ctx| {
+        ctx.charge(90);
+        ctx.k.vm.space(vs).pmap.pte(va)
+    })
+}
+
+/// `pmap_enter`: map `va` with protection `rw`, allocating a page table
+/// if the 4 MiB region has none (Figure 5: avg 29 µs).
+pub fn pmap_enter(ctx: &mut Ctx, vs: u32, va: u32, rw: bool) {
+    kfn(ctx, KFn::PmapEnter, |ctx| {
+        ctx.t_us(6);
+        if !ctx.k.vm.space(vs).pmap.has_table(va) {
+            // Allocate and wire a page-table page.
+            kmem_alloc_pages(ctx, 1);
+            ctx.k.vm.space_mut(vs).pmap.add_table(va);
+        }
+        let _ = pmap_pte(ctx, vs, va);
+        // PV-list insertion, attribute bookkeeping, TLB shootdown.
+        ctx.t_us(14);
+        let frame = ctx.k.vm.next_phys_page();
+        let bits = PG_V | if rw { PG_RW } else { 0 };
+        ctx.k
+            .vm
+            .space_mut(vs)
+            .pmap
+            .set_pte(va, (frame << 12) | bits);
+    });
+}
+
+/// `pmap_remove`: unmap `[sva, eva)`.  Scans every page in the range
+/// through `pmap_pte`; each *valid* mapping pays PV-list removal and
+/// page-attribute work, which is why tearing down a whole process image
+/// costs Figure 5's 14 ms worst case.
+pub fn pmap_remove(ctx: &mut Ctx, vs: u32, sva: u32, eva: u32) {
+    kfn(ctx, KFn::PmapRemove, |ctx| {
+        ctx.t_us(8);
+        // 386BSD's pmap_remove walks *every* page in the range through
+        // pmap_pte, resident or not — the cross-calling inefficiency the
+        // paper's Figure 5 exposes.  Reproduced deliberately.
+        let mut va = sva;
+        while va < eva {
+            let pte = pmap_pte(ctx, vs, va);
+            // The PV-table index scan runs for every page in the range,
+            // valid or not — more of the glue Figure 5 exposes
+            // (pmap_remove averages ~14 µs of net work per page visited).
+            ctx.t_us(11);
+            if pte & PG_V != 0 {
+                // PV list unlink, modified/referenced harvest,
+                // invalidate.
+                ctx.t_us(17);
+                ctx.k.vm.space_mut(vs).pmap.set_pte(va, 0);
+            }
+            va = va.wrapping_add(PAGE_SIZE);
+        }
+        // Final TLB flush.
+        ctx.t_us(10);
+    });
+}
+
+/// `pmap_protect`: write-protect `[sva, eva)` (the fork-time COW pass).
+pub fn pmap_protect(ctx: &mut Ctx, vs: u32, sva: u32, eva: u32) {
+    kfn(ctx, KFn::PmapProtect, |ctx| {
+        ctx.t_us(6);
+        // Same naive per-page pmap_pte walk as pmap_remove, but the
+        // protection change itself is cheap.
+        let mut va = sva;
+        while va < eva {
+            let pte = pmap_pte(ctx, vs, va);
+            if pte & PG_V != 0 {
+                ctx.t_us(3);
+                ctx.k.vm.space_mut(vs).pmap.set_pte(va, pte & !PG_RW);
+            } else {
+                ctx.charge(30);
+            }
+            va = va.wrapping_add(PAGE_SIZE);
+        }
+        ctx.t_us(8);
+    });
+}

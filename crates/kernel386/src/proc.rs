@@ -1,0 +1,159 @@
+//! The process table.
+
+use crate::kern_descrip::Fd;
+
+/// Process identifier (also the index + 1 into the table).
+pub type Pid = u32;
+
+/// Process lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Created, not yet first scheduled.
+    Embryo,
+    /// Runnable or running.
+    Run,
+    /// Blocked in `tsleep` on `wchan`.
+    Sleep,
+    /// Exited, awaiting reap.
+    Zombie,
+}
+
+/// One process.
+#[derive(Debug)]
+pub struct Proc {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent process id (0 for init-spawned).
+    pub ppid: Pid,
+    /// Command name, for reports.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: ProcState,
+    /// Sleep channel (0 = none).
+    pub wchan: u64,
+    /// Set by softclock when a timed sleep expires.
+    pub timed_out: bool,
+    /// Open file descriptors.
+    pub fds: Vec<Option<Fd>>,
+    /// Index of the process's vmspace (see `vm`), or `u32::MAX` for
+    /// kernel-only processes that never fault.
+    pub vmspace: u32,
+    /// Exit status once zombie.
+    pub exit_code: Option<i32>,
+    /// True once the parent has reaped the exit status.
+    pub reaped: bool,
+}
+
+impl Proc {
+    fn new(pid: Pid, ppid: Pid, name: &str) -> Self {
+        Proc {
+            pid,
+            ppid,
+            name: name.to_string(),
+            state: ProcState::Embryo,
+            wchan: 0,
+            timed_out: false,
+            fds: Vec::new(),
+            vmspace: u32::MAX,
+            exit_code: None,
+            reaped: false,
+        }
+    }
+}
+
+/// The table of all processes ever created (pids are never reused within
+/// a simulation, mirroring the short-lived captures of the paper).
+#[derive(Debug, Default)]
+pub struct ProcTable {
+    slots: Vec<Proc>,
+}
+
+impl ProcTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new process; pid 1 is the first.
+    pub fn alloc(&mut self, ppid: Pid, name: &str) -> Pid {
+        let pid = self.slots.len() as Pid + 1;
+        self.slots.push(Proc::new(pid, ppid, name));
+        pid
+    }
+
+    /// Immutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid pid.
+    pub fn get(&self, pid: Pid) -> &Proc {
+        &self.slots[(pid - 1) as usize]
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid pid.
+    pub fn get_mut(&mut self, pid: Pid) -> &mut Proc {
+        &mut self.slots[(pid - 1) as usize]
+    }
+
+    /// All processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Proc> {
+        self.slots.iter()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Proc> {
+        self.slots.iter_mut()
+    }
+
+    /// Number of processes ever created.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no process exists.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Pids of processes currently sleeping, for deadlock diagnostics.
+    pub fn sleepers(&self) -> Vec<(Pid, String, u64)> {
+        self.slots
+            .iter()
+            .filter(|p| p.state == ProcState::Sleep)
+            .map(|p| (p.pid, p.name.clone(), p.wchan))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_sequential_pids() {
+        let mut t = ProcTable::new();
+        assert_eq!(t.alloc(0, "init"), 1);
+        assert_eq!(t.alloc(1, "sh"), 2);
+        assert_eq!(t.get(2).ppid, 1);
+        assert_eq!(t.get(1).state, ProcState::Embryo);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sleepers_lists_only_sleeping() {
+        let mut t = ProcTable::new();
+        let a = t.alloc(0, "a");
+        let b = t.alloc(0, "b");
+        t.get_mut(a).state = ProcState::Sleep;
+        t.get_mut(a).wchan = 0xdead;
+        t.get_mut(b).state = ProcState::Run;
+        let s = t.sleepers();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, a);
+        assert_eq!(s[0].2, 0xdead);
+    }
+}

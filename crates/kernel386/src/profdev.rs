@@ -1,0 +1,50 @@
+//! `/dev/profiler`: the driver stub for user-level profiling.
+//!
+//! From the paper: "A driver stub may be configured in the kernel that
+//! reserves the Profiler's physical memory address space; a modified
+//! profiling crt.o initialises the process for profiling by opening the
+//! driver and calling mmap to memory map the Profiler's address space
+//! into a fixed location within the process address space."
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::kern_descrip::{falloc, FileObj};
+use crate::pmap::{pmap_enter, PAGE_SIZE};
+
+/// Fixed user virtual address the EPROM window maps at.
+pub const USER_PROF_BASE: u32 = 0x0900_0000;
+
+/// `profopen`: open the driver.  Returns the descriptor.
+pub fn profopen(ctx: &mut Ctx) -> usize {
+    kfn(ctx, KFn::ProfOpen, |ctx| {
+        ctx.t_us(9);
+        let (fd, _) = falloc(ctx, FileObj::ProfDev);
+        fd
+    })
+}
+
+/// `profmmap`: map the Profiler's 64 KiB EPROM window into the process
+/// at [`USER_PROF_BASE`].  Wires all 16 pages immediately (device
+/// memory cannot fault in lazily).
+pub fn profmmap(ctx: &mut Ctx) -> u32 {
+    kfn(ctx, KFn::ProfMmap, |ctx| {
+        ctx.t_us(25);
+        let me = ctx.me;
+        let vs = ctx.k.procs.get(me).vmspace;
+        assert_ne!(vs, u32::MAX, "profmmap needs an address space");
+        for i in 0..16u32 {
+            pmap_enter(ctx, vs, USER_PROF_BASE + i * PAGE_SIZE, false);
+        }
+        USER_PROF_BASE
+    })
+}
+
+/// A user-mode trigger: the profiling crt0 (or an application macro)
+/// reads the mapped window at `tag`.  User-level and kernel-level events
+/// interleave in the same capture RAM — the mixed profiling the paper
+/// describes for protocol-stack work.
+pub fn user_trigger(ctx: &mut Ctx, tag: u16) {
+    let c = ctx.k.machine.cost.trigger;
+    ctx.k.machine.now += c;
+    ctx.k.machine.eprom_read(tag);
+}

@@ -1,0 +1,244 @@
+//! Sockets, socket buffers, and the networking state block.
+
+use std::collections::VecDeque;
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::mbuf::{chain_len, m_free, Chain, DataLoc, Mbuf};
+use crate::spl::{splnet, splx};
+use crate::subr::copyout;
+use crate::synch::{tsleep, wakeup};
+
+/// A socket receive/send buffer.
+#[derive(Debug, Default)]
+pub struct SockBuf {
+    /// Queued mbufs.
+    pub q: VecDeque<Mbuf>,
+    /// Character count.
+    pub cc: usize,
+    /// High-water mark.
+    pub hiwat: usize,
+}
+
+impl SockBuf {
+    fn new(hiwat: usize) -> Self {
+        SockBuf {
+            q: VecDeque::new(),
+            cc: 0,
+            hiwat,
+        }
+    }
+
+    /// Room left before the high-water mark.
+    pub fn space(&self) -> usize {
+        self.hiwat.saturating_sub(self.cc)
+    }
+}
+
+/// A socket.
+#[derive(Debug)]
+pub struct Socket {
+    /// Receive buffer.
+    pub rcv: SockBuf,
+    /// Owning protocol control block index.
+    pub pcb: usize,
+    /// Bytes dropped at the socket for want of buffer space.
+    pub rcv_drops: u64,
+}
+
+/// The TCP control block (established-state data transfer only: the
+/// paper's receive experiment runs on an already-open connection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tcb {
+    /// Next expected receive sequence.
+    pub rcv_nxt: u32,
+    /// Next send sequence (for ACK segments).
+    pub snd_nxt: u32,
+    /// Segments since the last ACK we sent.
+    pub unacked_segs: u32,
+    /// Out-of-order segments dropped.
+    pub ooo_drops: u64,
+}
+
+/// A protocol control block.
+#[derive(Debug)]
+pub struct Pcb {
+    /// Local port.
+    pub lport: u16,
+    /// Foreign port (0 = wildcard).
+    pub fport: u16,
+    /// Foreign address (0 = wildcard).
+    pub faddr: u32,
+    /// IP protocol.
+    pub proto: u8,
+    /// Owning socket index.
+    pub sock: usize,
+    /// TCP state, for TCP pcbs.
+    pub tcb: Tcb,
+}
+
+/// All networking state.
+#[derive(Debug, Default)]
+pub struct NetState {
+    /// Sockets by index.
+    pub sockets: Vec<Socket>,
+    /// Protocol control blocks (searched linearly, as `in_pcblookup`
+    /// did).
+    pub pcbs: Vec<Pcb>,
+    /// Soft network interrupt pending (the emulated netisr bit).
+    pub netisr_ip: bool,
+    /// True while the soft interrupt is being serviced (prevents
+    /// re-entry from nested spl transitions).
+    pub in_softint: bool,
+    /// Packets queued from the driver to `ipintr`.
+    pub ipq: VecDeque<Chain>,
+    /// Frames queued for transmission by the `we` driver.
+    pub if_snd: VecDeque<Vec<u8>>,
+    /// mbuf pool statistics.
+    pub mbuf_allocs: u64,
+    /// Cluster allocations.
+    pub cluster_allocs: u64,
+    /// mbuf frees.
+    pub mbuf_frees: u64,
+    /// NFS: pending request replies keyed by xid.
+    pub nfs_replies: std::collections::HashMap<u32, Vec<u8>>,
+    /// NFS: transaction id counter.
+    pub nfs_xid: u32,
+}
+
+impl NetState {
+    /// Fresh state, no sockets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a socket + pcb pair (scenario setup; the syscall-level
+    /// path goes through `sys_socket`).  Returns the socket index.
+    pub fn socreate(&mut self, proto: u8, lport: u16) -> usize {
+        let sock = self.sockets.len();
+        let pcb = self.pcbs.len();
+        self.sockets.push(Socket {
+            rcv: SockBuf::new(16 * 1024),
+            pcb,
+            rcv_drops: 0,
+        });
+        self.pcbs.push(Pcb {
+            lport,
+            fport: 0,
+            faddr: 0,
+            proto,
+            sock,
+            tcb: Tcb::default(),
+        });
+        sock
+    }
+
+    /// Sleep channel for a socket's receive buffer.
+    pub fn rcv_chan(sock: usize) -> u64 {
+        0x5000_0000 + sock as u64
+    }
+}
+
+/// `sbappend`: append a chain to a socket buffer (mbufs are linked, not
+/// copied — the cheapness the paper leans on).  Runs under its own
+/// `splnet` pair, one of the many per-packet spl acquisitions that add
+/// up to the paper's "9% of the total CPU time".
+pub fn sbappend(ctx: &mut Ctx, sock: usize, ch: Chain) {
+    kfn(ctx, KFn::Sbappend, |ctx| {
+        let s = splnet(ctx);
+        ctx.t_us(3);
+        splx(ctx, s);
+        let n = chain_len(&ch);
+        let sb = &mut ctx.k.net.sockets[sock].rcv;
+        if sb.space() < n {
+            // Full: the data is dropped (TCP would shrink the window; the
+            // blaster ignores windows, matching the saturation test).
+            ctx.k.net.sockets[sock].rcv_drops += n as u64;
+            crate::mbuf::m_freem(ctx, ch);
+            return;
+        }
+        for m in ch {
+            ctx.k.machine.advance(60); // link one mbuf
+            let sb = &mut ctx.k.net.sockets[sock].rcv;
+            sb.cc += m.data.len();
+            sb.q.push_back(m);
+        }
+    });
+}
+
+/// `sowakeup`: wake readers blocked on the socket.
+pub fn sowakeup(ctx: &mut Ctx, sock: usize) {
+    kfn(ctx, KFn::Sowakeup, |ctx| {
+        let s = splnet(ctx);
+        ctx.t_us(3);
+        wakeup(ctx, NetState::rcv_chan(sock));
+        splx(ctx, s);
+    });
+}
+
+/// `soreceive`: blocking read of up to `want` bytes from a socket.
+///
+/// Sleeps (inside this function, as in BSD — Figure 3 shows `soreceive`
+/// with enormous elapsed time and small net time for exactly this
+/// reason) until at least one byte is available, then copies out what is
+/// there, up to `want`.  With `timo > 0` (clock ticks) an empty buffer
+/// gives up after the timeout and returns 0.
+pub fn soreceive(ctx: &mut Ctx, sock: usize, want: usize, timo: u32, out: &mut Vec<u8>) -> usize {
+    kfn(ctx, KFn::Soreceive, |ctx| {
+        ctx.t_us(9);
+        let mut got = 0usize;
+        loop {
+            let s = splnet(ctx);
+            if ctx.k.net.sockets[sock].rcv.cc == 0 {
+                splx(ctx, s);
+                if tsleep(ctx, NetState::rcv_chan(sock), timo) {
+                    return 0;
+                }
+                continue;
+            }
+            splx(ctx, s);
+            // Drain mbufs up to `want`; each mbuf unlink retakes splnet
+            // (the sb lock dance that makes spl* "called a great deal").
+            while got < want && ctx.k.net.sockets[sock].rcv.cc > 0 {
+                let s = splnet(ctx);
+                let mut m = ctx.k.net.sockets[sock].rcv.q.pop_front().expect("cc>0");
+                let take = (want - got).min(m.data.len());
+                ctx.k.net.sockets[sock].rcv.cc -= take;
+                splx(ctx, s);
+                let from_isa = m.loc == DataLoc::IsaShared;
+                copyout(ctx, take, from_isa);
+                out.extend_from_slice(&m.data[..take]);
+                got += take;
+                if take < m.data.len() {
+                    m.data.drain(..take);
+                    let s = splnet(ctx);
+                    ctx.k.net.sockets[sock].rcv.q.push_front(m);
+                    splx(ctx, s);
+                } else {
+                    m_free(ctx, m);
+                }
+            }
+            break;
+        }
+        // Reading opened window space: send the update the sender's ACK
+        // clock is waiting on (TCP sockets only).
+        if got > 0 {
+            let pcb = ctx.k.net.sockets[sock].pcb;
+            if ctx.k.net.pcbs[pcb].proto == crate::wire_fmt::IPPROTO_TCP
+                && ctx.k.net.pcbs[pcb].faddr != 0
+            {
+                crate::tcp::tcp_output(ctx, pcb);
+            }
+        }
+        got
+    })
+}
+
+/// `sosend`: send `data` on a socket (UDP datagrams for the NFS path).
+pub fn sosend(ctx: &mut Ctx, sock: usize, data: Vec<u8>, dst: u32, dport: u16) {
+    kfn(ctx, KFn::Sosend, |ctx| {
+        ctx.t_us(12);
+        let pcb = ctx.k.net.sockets[sock].pcb;
+        crate::udp::udp_output(ctx, pcb, data, dst, dport);
+    });
+}

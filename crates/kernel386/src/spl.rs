@@ -1,0 +1,169 @@
+//! Interrupt priority levels, 386/ISA style.
+//!
+//! The paper: "Due to the interrupt architecture of the bus and the
+//! processor, it was evident that more time was spent ensuring correct
+//! synchronisation and interrupt lockouts than would normally be required
+//! on a multi-priority interrupt level processor such as 680x0; on the
+//! average it took 11 microseconds per `splnet` call [...] In one test,
+//! 9% of the total CPU time was spent in `splnet`, `splx`, `splhigh` and
+//! `spl0`."
+//!
+//! Raising a level means reprogramming 8259 mask registers with slow I/O
+//! port writes; `spl0` additionally performs the software-interrupt (AST)
+//! emulation check that runs pending `netisr` work.
+
+use hwprof_machine::pic::{IRQ_WD, IRQ_WE};
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::ip;
+
+/// A priority level (also the token `splx` restores).
+pub type Level = u8;
+
+/// No interrupts blocked.
+pub const SPL_NONE: Level = 0;
+/// Network: blocks the Ethernet card and the soft network interrupt.
+pub const SPL_NET: Level = 2;
+/// Block I/O: blocks the disk controller.
+pub const SPL_BIO: Level = 3;
+/// Clock and above: everything blocked.
+pub const SPL_CLOCK: Level = 5;
+/// Highest: everything blocked.
+pub const SPL_HIGH: Level = 6;
+
+/// PIC mask bits for each level.
+pub fn mask_for(level: Level) -> u16 {
+    match level {
+        0 | 1 => 0,
+        2 => 1 << IRQ_WE,
+        3 => 1 << IRQ_WD,
+        4 => 0,
+        _ => 0xFFFF,
+    }
+}
+
+/// Current spl state: the process-context priority level plus the
+/// cumulative interrupt-nesting mask (a nested handler must keep every
+/// line its interrupted context had masked — a disk interrupt taken
+/// inside the Ethernet handler must NOT reopen the Ethernet line).
+#[derive(Debug, Clone, Copy)]
+pub struct SplState {
+    level: Level,
+    /// Extra mask bits imposed by in-progress interrupt handlers.
+    pub intr_mask: u16,
+}
+
+impl Default for SplState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SplState {
+    /// Boot state: nothing blocked.
+    pub fn new() -> Self {
+        SplState {
+            level: SPL_NONE,
+            intr_mask: 0,
+        }
+    }
+
+    /// The PIC mask currently in force.
+    #[inline]
+    pub fn mask(&self) -> u16 {
+        mask_for(self.level) | self.intr_mask
+    }
+
+    /// Current process-context level.
+    #[inline]
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Raw level change with no cost and no trace — the idle loop and
+    /// the spl implementations use this, not callers.
+    #[inline]
+    pub fn raw_set(&mut self, level: Level) -> Level {
+        std::mem::replace(&mut self.level, level)
+    }
+}
+
+/// Charges the PIC reprogramming of a level *raise* and returns the
+/// previous level.  No interrupt window opens inside the raise itself
+/// (pending lines deliver at the caller's next instruction boundary),
+/// so spl functions stay the few-microsecond leaves the paper measured.
+fn raise(ctx: &mut Ctx, level: Level) -> Level {
+    // Two mask-register writes (master + slave 8259) plus bookkeeping.
+    let c = ctx.k.machine.cost.io_port * 3 + ctx.k.machine.cost.tick;
+    ctx.k.machine.advance(c);
+    let old = ctx.k.spl.level();
+    if level > old {
+        ctx.k.spl.raw_set(level);
+    }
+    old
+}
+
+/// `splnet`: block network interrupts.
+pub fn splnet(ctx: &mut Ctx) -> Level {
+    kfn(ctx, KFn::Splnet, |ctx| raise(ctx, SPL_NET))
+}
+
+/// `splimp`: same level as the network on this port.
+pub fn splimp(ctx: &mut Ctx) -> Level {
+    kfn(ctx, KFn::Splimp, |ctx| raise(ctx, SPL_NET))
+}
+
+/// `splbio`: block disk interrupts.
+pub fn splbio(ctx: &mut Ctx) -> Level {
+    kfn(ctx, KFn::Splbio, |ctx| raise(ctx, SPL_BIO))
+}
+
+/// `splclock`: block the clock (and everything below).
+pub fn splclock(ctx: &mut Ctx) -> Level {
+    kfn(ctx, KFn::Splclock, |ctx| raise(ctx, SPL_CLOCK))
+}
+
+/// `splhigh`: block everything.
+pub fn splhigh(ctx: &mut Ctx) -> Level {
+    kfn(ctx, KFn::Splhigh, |ctx| raise(ctx, SPL_HIGH))
+}
+
+/// `splx`: restore a saved level; runs soft network work when the
+/// restore uncovers it, then delivers any uncovered hardware interrupts.
+pub fn splx(ctx: &mut Ctx, saved: Level) {
+    kfn(ctx, KFn::Splx, |ctx| {
+        let c = ctx.k.machine.cost.io_port + ctx.k.machine.cost.tick / 4;
+        ctx.k.machine.advance(c);
+        ctx.k.spl.raw_set(saved);
+        if saved < SPL_NET {
+            ip::run_netisr(ctx);
+        }
+        // Pending hardware interrupts uncovered by the restore are taken
+        // here in process context; inside a handler they are left for
+        // the interrupt exit path (the CPU takes them after IRET, as
+        // siblings of the completed handler, not nested within it).
+        if ctx.intr_depth == 0 {
+            ctx.dispatch_interrupts();
+        }
+    })
+}
+
+/// `spl0`: drop to level 0.  This is where the 386 port pays for its
+/// missing software interrupts: the AST-emulation check runs here, making
+/// `spl0` markedly dearer than `splx` (the paper measured ~25 µs vs
+/// ~3 µs).
+pub fn spl0(ctx: &mut Ctx) -> Level {
+    kfn(ctx, KFn::Spl0, |ctx| {
+        // Mask restore plus the AST/soft-interrupt emulation scan.
+        let c = ctx.k.machine.cost.io_port * 2 + 640;
+        ctx.k.machine.advance(c);
+        let old = ctx.k.spl.raw_set(SPL_NONE);
+        ip::run_netisr(ctx);
+        // See splx: no nested delivery inside a handler tail.
+        if ctx.intr_depth == 0 {
+            ctx.dispatch_interrupts();
+        }
+        old
+    })
+}

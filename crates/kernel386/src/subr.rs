@@ -1,0 +1,105 @@
+//! Data-movement support routines: `bcopy`, `bzero`, the copy* family.
+//!
+//! These are the hot leaves of the paper's profiles: `bcopy` is 33 % of a
+//! saturated network receive, and the ISA-vs-main-memory distinction is
+//! the whole story — "To transfer similar amounts of data, the ISA bus is
+//! up to 20 times slower than main memory transfers."
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+
+/// Where the two ends of a copy live; decides the per-byte cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyKind {
+    /// Main memory to main memory (word moves).
+    MainToMain,
+    /// 8-bit ISA device memory to main memory (the WD8003E ring).
+    IsaToMain,
+    /// Main memory to 8-bit ISA device memory (transmit path, VGA).
+    MainToIsa,
+}
+
+impl CopyKind {
+    fn cycles(self, ctx: &Ctx, len: usize) -> u64 {
+        let c = &ctx.k.machine.cost;
+        match self {
+            CopyKind::MainToMain => c.bcopy_main(len),
+            CopyKind::IsaToMain | CopyKind::MainToIsa => c.bcopy_isa8(len),
+        }
+    }
+}
+
+/// `bcopy`: copy `len` bytes; the data movement itself is done by the
+/// caller (Rust moves the actual bytes), this charges the machine time.
+pub fn bcopy(ctx: &mut Ctx, len: usize, kind: CopyKind) {
+    kfn(ctx, KFn::Bcopy, |ctx| {
+        let c = kind.cycles(ctx, len);
+        ctx.charge(c);
+    });
+}
+
+/// `bcopyb`: the byte-at-a-time variant (console scrolling writes VGA
+/// memory on the ISA bus, which is why Figure 5 shows it at ~3.6 ms per
+/// screen scroll).
+pub fn bcopyb(ctx: &mut Ctx, len: usize) {
+    kfn(ctx, KFn::Bcopyb, |ctx| {
+        let c = ctx.k.machine.cost.bcopy_isa8(len);
+        ctx.charge(c);
+    });
+}
+
+/// `bzero`: zero `len` bytes of main memory.
+pub fn bzero(ctx: &mut Ctx, len: usize) {
+    kfn(ctx, KFn::Bzero, |ctx| {
+        let words = (len as u64).div_ceil(4);
+        let c = words * ctx.k.machine.cost.mem_word_zero + ctx.k.machine.cost.tick;
+        ctx.charge(c);
+    });
+}
+
+/// `copyin`: user to kernel copy of `len` bytes.
+pub fn copyin(ctx: &mut Ctx, len: usize) {
+    kfn(ctx, KFn::Copyin, |ctx| {
+        // Fault-window setup plus a word copy.
+        let c = ctx.k.machine.cost.bcopy_main(len) + 80;
+        ctx.charge(c);
+    });
+}
+
+/// `copyout`: kernel to user copy of `len` bytes.  The copy itself goes
+/// through `bcopy` (as this port's uiomove did — which is why the
+/// paper's Figure 3 shows user copies inside the `bcopy` totals).  When
+/// the source data still lives in ISA device memory (the external-mbuf
+/// what-if), the copy pays ISA rates.
+pub fn copyout(ctx: &mut Ctx, len: usize, from_isa: bool) {
+    kfn(ctx, KFn::Copyout, |ctx| {
+        // Fault-window setup.
+        ctx.charge(80);
+        let kind = if from_isa {
+            CopyKind::IsaToMain
+        } else {
+            CopyKind::MainToMain
+        };
+        bcopy(ctx, len, kind);
+    });
+}
+
+/// `copyinstr`: copy a NUL-terminated string from user space, a byte at
+/// a time with limit checks (Table 1: ~170 µs for an exec's worth of
+/// path and argument strings).
+pub fn copyinstr(ctx: &mut Ctx, len: usize) {
+    kfn(ctx, KFn::Copyinstr, |ctx| {
+        let c = len as u64 * 6 + 120;
+        ctx.charge(c);
+    });
+}
+
+/// `min`: the little helper Figure 4 catches inside `fdalloc` (5 µs —
+/// mostly trigger and call overhead, proving the "granularity to a source
+/// code function level (however short the function is)" goal).
+pub fn min(ctx: &mut Ctx, a: usize, b: usize) -> usize {
+    kfn(ctx, KFn::Min, |ctx| {
+        ctx.charge(60);
+        a.min(b)
+    })
+}

@@ -1,0 +1,73 @@
+//! `tsleep` and `wakeup`.
+
+use crate::clock::{timeout, untimeout_wake, CalloutAction};
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::proc::ProcState;
+use crate::sched::{setrunqueue, swtch};
+use crate::spl::{splhigh, splx};
+
+/// `tsleep`: block the current process on `chan`, optionally with a
+/// timeout of `timo` clock ticks (0 = no timeout).  Returns `true` if the
+/// sleep ended by timeout rather than `wakeup`.
+///
+/// # Panics
+///
+/// Panics if called from interrupt context.
+pub fn tsleep(ctx: &mut Ctx, chan: u64, timo: u32) -> bool {
+    kfn(ctx, KFn::Tsleep, |ctx| {
+        assert_eq!(ctx.intr_depth, 0, "tsleep from interrupt context");
+        assert_ne!(chan, 0, "tsleep on channel 0");
+        ctx.t_us(2);
+        let me = ctx.me;
+        if timo > 0 {
+            timeout(ctx, CalloutAction::WakeProcTimeout(me), timo);
+        }
+        {
+            let p = ctx.k.procs.get_mut(me);
+            p.state = ProcState::Sleep;
+            p.wchan = chan;
+            p.timed_out = false;
+        }
+        let s = splhigh(ctx);
+        swtch(ctx);
+        splx(ctx, s);
+        let timed_out = ctx.k.procs.get(me).timed_out;
+        if timo > 0 && !timed_out {
+            untimeout_wake(ctx, me);
+        }
+        timed_out
+    })
+}
+
+/// `wakeup`: make every process sleeping on `chan` runnable.
+pub fn wakeup(ctx: &mut Ctx, chan: u64) {
+    kfn(ctx, KFn::Wakeup, |ctx| {
+        ctx.t_us(3);
+        let woken: Vec<_> = ctx
+            .k
+            .procs
+            .iter()
+            .filter(|p| p.state == ProcState::Sleep && p.wchan == chan)
+            .map(|p| p.pid)
+            .collect();
+        for pid in woken {
+            {
+                let p = ctx.k.procs.get_mut(pid);
+                p.wchan = 0;
+            }
+            setrunqueue(ctx, pid);
+        }
+    });
+}
+
+/// Voluntary preemption point: honoured on return to user mode.
+pub fn preempt(ctx: &mut Ctx) {
+    if ctx.k.sched.need_resched && ctx.k.sched.runnable() > 0 {
+        let me = ctx.me;
+        setrunqueue(ctx, me);
+        swtch(ctx);
+    } else {
+        ctx.k.sched.need_resched = false;
+    }
+}

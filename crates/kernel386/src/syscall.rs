@@ -1,0 +1,253 @@
+//! The system call layer: trap entry, dispatch, return-to-user.
+//!
+//! These handlers are the paper's macro-profiling layer: "Virtually all
+//! kernel code paths traverse these higher level routines, so it is
+//! possible to get a broad-brush view of system performance".
+
+use crate::ctx::{kfn, Ctx};
+use crate::ffs::{namei, vn_read, vn_write};
+use crate::funcs::KFn;
+use crate::kern_descrip::{falloc, FileObj};
+use crate::kern_exec::{execve, ExecImage};
+use crate::kern_fork::{fork1, wait_chan};
+use crate::proc::{Pid, ProcState};
+use crate::sched::swtch_exit;
+use crate::socket::soreceive;
+use crate::synch::{preempt, tsleep, wakeup};
+use crate::user::UserProgram;
+use crate::vm::vmspace_free;
+
+/// Trap into the kernel, run `body` as the named handler, return to user
+/// mode (with the reschedule check a real return path performs).
+fn syscall<R>(ctx: &mut Ctx, handler: KFn, body: impl FnOnce(&mut Ctx) -> R) -> R {
+    kfn(ctx, KFn::Syscall, |ctx| {
+        // INT gate, register save, argument copyin.
+        ctx.t_us(7);
+        ctx.k.stats.syscalls += 1;
+        let r = kfn(ctx, handler, body);
+        // Return to user: AST check.
+        ctx.t_us(3);
+        preempt(ctx);
+        r
+    })
+}
+
+/// `open(path)`: open (optionally creating) a regular file.
+pub fn sys_open(ctx: &mut Ctx, path: &str, create: bool) -> usize {
+    syscall(ctx, KFn::SysOpen, |ctx| {
+        let ino = match namei(ctx, path) {
+            Some(i) => i,
+            None => {
+                assert!(create, "open: {path} does not exist");
+                ctx.t_us(40); // inode + directory entry allocation
+                let name = path.rsplit('/').next().expect("split never empty");
+                ctx.k.fs.ffs.create(name)
+            }
+        };
+        let (fd, _) = falloc(ctx, FileObj::Vnode(ino));
+        fd
+    })
+}
+
+/// `socket()`-ish: create a socket bound to `lport` and a descriptor for
+/// it.
+pub fn sys_socket(ctx: &mut Ctx, proto: u8, lport: u16) -> usize {
+    syscall(ctx, KFn::SysOpen, |ctx| {
+        ctx.t_us(18);
+        let sock = ctx.k.net.socreate(proto, lport);
+        let (fd, _) = falloc(ctx, FileObj::Socket(sock));
+        fd
+    })
+}
+
+/// `read(fd, len)`: read from a file or socket, returning the bytes.
+pub fn sys_read(ctx: &mut Ctx, fd: usize, len: usize) -> Vec<u8> {
+    sys_read_timeout(ctx, fd, len, 0)
+}
+
+/// `read` with a socket timeout in clock ticks (0 = block forever);
+/// files ignore the timeout.
+pub fn sys_read_timeout(ctx: &mut Ctx, fd: usize, len: usize, timo: u32) -> Vec<u8> {
+    syscall(ctx, KFn::SysRead, |ctx| {
+        let me = ctx.me;
+        let fidx = ctx.k.procs.get(me).fds[fd].expect("bad fd");
+        let file = ctx.k.files.get(fidx).clone();
+        match file.obj {
+            FileObj::Socket(sock) => {
+                let mut out = Vec::with_capacity(len);
+                soreceive(ctx, sock, len, timo, &mut out);
+                out
+            }
+            FileObj::Vnode(ino) => {
+                let data = vn_read(ctx, ino, file.offset, len);
+                ctx.k.files.get_mut(fidx).offset += data.len() as u64;
+                data
+            }
+            FileObj::ProfDev => Vec::new(),
+        }
+    })
+}
+
+/// `write(fd, data)`.
+pub fn sys_write(ctx: &mut Ctx, fd: usize, data: &[u8]) {
+    syscall(ctx, KFn::SysWrite, |ctx| {
+        let me = ctx.me;
+        let fidx = ctx.k.procs.get(me).fds[fd].expect("bad fd");
+        let file = ctx.k.files.get(fidx).clone();
+        match file.obj {
+            FileObj::Vnode(ino) => {
+                vn_write(ctx, ino, file.offset, data);
+                ctx.k.files.get_mut(fidx).offset += data.len() as u64;
+            }
+            FileObj::Socket(_) | FileObj::ProfDev => {
+                ctx.t_us(5);
+            }
+        }
+    });
+}
+
+/// `sendto(fd, data, dst, dport)`: send a datagram on a UDP socket.
+pub fn sys_sendto(ctx: &mut Ctx, fd: usize, data: Vec<u8>, dst: u32, dport: u16) {
+    syscall(ctx, KFn::SysWrite, |ctx| {
+        let me = ctx.me;
+        let fidx = ctx.k.procs.get(me).fds[fd].expect("bad fd");
+        let file = ctx.k.files.get(fidx).clone();
+        match file.obj {
+            FileObj::Socket(sock) => {
+                crate::subr::copyin(ctx, data.len());
+                crate::socket::sosend(ctx, sock, data, dst, dport);
+            }
+            _ => panic!("sendto on non-socket"),
+        }
+    });
+}
+
+/// `close(fd)`.
+pub fn sys_close(ctx: &mut Ctx, fd: usize) {
+    syscall(ctx, KFn::SysClose, |ctx| {
+        ctx.t_us(8);
+        let me = ctx.me;
+        if let Some(fidx) = ctx.k.procs.get_mut(me).fds[fd].take() {
+            if ctx.k.files.release(fidx) {
+                crate::malloc::free(ctx, 64);
+            }
+        }
+    });
+}
+
+/// `vfork()`: create a child running `child_prog`; the parent blocks
+/// until the child execs or exits.
+pub fn sys_vfork(ctx: &mut Ctx, name: &str, child_prog: UserProgram) -> Pid {
+    syscall(ctx, KFn::SysVfork, |ctx| fork1(ctx, name, child_prog, true))
+}
+
+/// `execve(image)`.
+pub fn sys_execve(ctx: &mut Ctx, image: &ExecImage) {
+    kfn(ctx, KFn::Syscall, |ctx| {
+        ctx.t_us(7);
+        ctx.k.stats.syscalls += 1;
+        execve(ctx, image);
+        ctx.t_us(3);
+        preempt(ctx);
+    });
+}
+
+/// `wait4()`: reap one zombie child; blocks until one exists.
+pub fn sys_wait(ctx: &mut Ctx) -> (Pid, i32) {
+    syscall(ctx, KFn::SysWait4, |ctx| {
+        let me = ctx.me;
+        loop {
+            let zombie = ctx
+                .k
+                .procs
+                .iter()
+                .find(|p| p.ppid == me && p.state == ProcState::Zombie && !p.reaped)
+                .map(|p| (p.pid, p.exit_code.unwrap_or(0)));
+            if let Some((pid, code)) = zombie {
+                ctx.t_us(12);
+                ctx.k.procs.get_mut(pid).reaped = true;
+                return (pid, code);
+            }
+            tsleep(ctx, wait_chan(me), 0);
+        }
+    })
+}
+
+/// `exit(code)`: never returns control to user mode; the calling thread
+/// unwinds after the scheduler hands the CPU away.
+pub fn sys_exit(ctx: &mut Ctx, code: i32) {
+    kfn(ctx, KFn::Syscall, |ctx| {
+        ctx.t_us(7);
+        ctx.k.stats.syscalls += 1;
+        kfn(ctx, KFn::KernExit, |ctx| {
+            ctx.t_us(20);
+            let me = ctx.me;
+            // Close descriptors.
+            let fds: Vec<usize> = ctx
+                .k
+                .procs
+                .get_mut(me)
+                .fds
+                .iter_mut()
+                .filter_map(|f| f.take())
+                .collect();
+            for fidx in fds {
+                ctx.t_us(5);
+                if ctx.k.files.release(fidx) {
+                    crate::malloc::free(ctx, 64);
+                }
+            }
+            // Tear down the address space (the big pmap_remove storm for
+            // a fully resident image).
+            let vs = ctx.k.procs.get(me).vmspace;
+            if vs != u32::MAX && ctx.k.vm.space_live(vs) {
+                vmspace_free(ctx, vs);
+            }
+            // Wake a vfork parent still loaning us its space, and any
+            // wait4.
+            wakeup(ctx, crate::kern_fork::vfork_chan(me));
+            let ppid = ctx.k.procs.get(me).ppid;
+            if ppid != 0 {
+                wakeup(ctx, wait_chan(ppid));
+            }
+            {
+                let p = ctx.k.procs.get_mut(me);
+                p.state = ProcState::Zombie;
+                p.exit_code = Some(code);
+            }
+            ctx.k.live_procs -= 1;
+        });
+    });
+    swtch_exit(ctx);
+}
+
+/// `lseek(fd, offset)`: absolute seek.
+pub fn sys_lseek(ctx: &mut Ctx, fd: usize, offset: u64) {
+    syscall(ctx, KFn::SysRead, |ctx| {
+        ctx.t_us(3);
+        let me = ctx.me;
+        let fidx = ctx.k.procs.get(me).fds[fd].expect("bad fd");
+        ctx.k.files.get_mut(fidx).offset = offset;
+    });
+}
+
+/// `sync()`: wait until every buffered write has reached the disk.
+pub fn sys_sync(ctx: &mut Ctx) {
+    syscall(ctx, KFn::SysWrite, |ctx| loop {
+        let busy = ctx.k.fs.bufs.iter().position(|b| b.busy);
+        match busy {
+            Some(i) => crate::bio::biowait(ctx, i),
+            None => break,
+        }
+    });
+}
+
+/// `nanosleep`-ish: sleep for `ticks` clock ticks.
+pub fn sys_sleep(ctx: &mut Ctx, ticks: u32) {
+    syscall(ctx, KFn::SysRead, |ctx| {
+        let me = ctx.me;
+        let chan = 0x7200_0000 + me as u64;
+        let timed_out = tsleep(ctx, chan, ticks);
+        debug_assert!(timed_out, "nothing else wakes this channel");
+    });
+}

@@ -1,0 +1,171 @@
+//! TCP input (established-state data transfer) and ACK output.
+//!
+//! The paper's network experiment is a pre-established connection being
+//! blasted with data ("a program that listened on a socket and when
+//! another host connected, read and discard the data"), so the state
+//! machine here covers exactly that: in-order data acceptance with real
+//! checksum verification, socket-buffer append, reader wakeup, and ACKs
+//! every second segment.
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::in_cksum::in_cksum;
+use crate::ip::ip_output;
+use crate::mbuf::{chain_bytes, chain_len, m_freem, Chain};
+use crate::socket::{sbappend, sowakeup};
+use crate::wire_fmt::{self, parse_tcp, pseudo_sum, tcpflags, Ipv4View, IPPROTO_TCP, IP_HDR};
+
+/// `in_pcblookup`: linear scan of the PCB list (as 386BSD did; the paper
+/// measured it at ~9 µs with few PCBs).
+pub fn in_pcblookup(ctx: &mut Ctx, proto: u8, lport: u16, faddr: u32, fport: u16) -> Option<usize> {
+    kfn(ctx, KFn::InPcblookup, |ctx| {
+        ctx.t_us(4);
+        let n = ctx.k.net.pcbs.len() as u64;
+        ctx.charge(n * 50);
+        ctx.k.net.pcbs.iter().position(|p| {
+            p.proto == proto
+                && p.lport == lport
+                && (p.fport == 0 || p.fport == fport)
+                && (p.faddr == 0 || p.faddr == faddr)
+        })
+    })
+}
+
+/// `tcp_input`: process one received TCP segment (IP header still on the
+/// front of `chain`; `view` is the parsed IP header).
+pub fn tcp_input(ctx: &mut Ctx, mut chain: Chain, view: Ipv4View) {
+    kfn(ctx, KFn::TcpInput, |ctx| {
+        ctx.t_us(10);
+        // Drop the IP header from the chain (pointer arithmetic in the
+        // real kernel; a small charge here).
+        ctx.t_us(2);
+        let trim = IP_HDR.min(chain[0].data.len());
+        chain[0].data.drain(..trim);
+        let tcp_len = (view.total_len as usize).saturating_sub(IP_HDR);
+        if tcp_len > chain_len(&chain) {
+            m_freem(ctx, chain);
+            return;
+        }
+        // The big checksum: pseudo-header plus the entire segment.  This
+        // is the second in_cksum of every packet and, with the stock C
+        // coding, nearly as expensive as the driver copy.
+        let ps = pseudo_sum(view.src, view.dst, IPPROTO_TCP, tcp_len as u16);
+        if in_cksum(ctx, &chain, tcp_len, ps) != 0 {
+            ctx.k.stats.cksum_drops += 1;
+            m_freem(ctx, chain);
+            return;
+        }
+        let head = chain_bytes(&chain);
+        let Some(th) = parse_tcp(&head) else {
+            m_freem(ctx, chain);
+            return;
+        };
+        let Some(pcb) = in_pcblookup(ctx, IPPROTO_TCP, th.dport, view.src, th.sport) else {
+            m_freem(ctx, chain);
+            return;
+        };
+        // Header prediction and sequence processing, under splnet.
+        let s = crate::spl::splnet(ctx);
+        ctx.t_us(9);
+        crate::spl::splx(ctx, s);
+        let data_len = tcp_len - th.hlen;
+        let (accept, sock) = {
+            let p = &mut ctx.k.net.pcbs[pcb];
+            // Learn the peer on first contact (the pre-established
+            // listen socket has wildcards).
+            if p.faddr == 0 {
+                p.faddr = view.src;
+                p.fport = th.sport;
+                p.tcb.rcv_nxt = th.seq;
+            }
+            let sock = p.sock;
+            let in_order = th.seq == p.tcb.rcv_nxt && data_len > 0;
+            let has_room = ctx.k.net.sockets[sock].rcv.space() >= data_len;
+            let p = &mut ctx.k.net.pcbs[pcb];
+            if in_order && has_room {
+                p.tcb.rcv_nxt = p.tcb.rcv_nxt.wrapping_add(data_len as u32);
+                p.tcb.unacked_segs += 1;
+                (true, sock)
+            } else {
+                // Out of order, or no socket-buffer space: do not
+                // advance rcv_nxt (the sender will retransmit), just
+                // provoke a duplicate ACK carrying the current window.
+                if data_len > 0 {
+                    p.tcb.ooo_drops += 1;
+                }
+                (false, sock)
+            }
+        };
+        if accept {
+            // Trim the TCP header and append the payload mbufs.
+            let mut data = chain;
+            let mut to_trim = th.hlen;
+            for m in &mut data {
+                let t = to_trim.min(m.data.len());
+                m.data.drain(..t);
+                to_trim -= t;
+                if to_trim == 0 {
+                    break;
+                }
+            }
+            data.retain(|m| !m.data.is_empty());
+            sbappend(ctx, sock, data);
+            sowakeup(ctx, sock);
+            // ACK every second segment (delayed-ACK flavour).
+            let should_ack = {
+                let p = &mut ctx.k.net.pcbs[pcb];
+                if p.tcb.unacked_segs >= 2 || th.flags & tcpflags::PSH != 0 {
+                    p.tcb.unacked_segs = 0;
+                    true
+                } else {
+                    false
+                }
+            };
+            if should_ack {
+                tcp_output(ctx, pcb);
+            }
+        } else {
+            m_freem(ctx, chain);
+            // A duplicate/out-of-window segment still provokes an ACK.
+            tcp_output(ctx, pcb);
+        }
+    });
+}
+
+/// `tcp_output`: emit a bare ACK segment for `pcb`.
+pub fn tcp_output(ctx: &mut Ctx, pcb: usize) {
+    kfn(ctx, KFn::TcpOutput, |ctx| {
+        let s = crate::spl::splnet(ctx);
+        ctx.t_us(14);
+        crate::spl::splx(ctx, s);
+        let (faddr, fport, lport, seq, ack, window) = {
+            let p = &ctx.k.net.pcbs[pcb];
+            let sock = p.sock;
+            let win = ctx.k.net.sockets[sock].rcv.space().min(u16::MAX as usize) as u16;
+            (p.faddr, p.fport, p.lport, p.tcb.snd_nxt, p.tcb.rcv_nxt, win)
+        };
+        if faddr == 0 {
+            return;
+        }
+        // Advertise the real socket-buffer space: the sender's ACK clock
+        // throttles to the receiving process's drain rate.
+        let seg = wire_fmt::build_tcp_win(
+            wire_fmt::PC_IP,
+            faddr,
+            lport,
+            fport,
+            seq,
+            ack,
+            tcpflags::ACK,
+            window,
+            &[],
+        );
+        // Checksum of the outgoing header (cheap: 20 bytes).
+        let hdr_chain = vec![crate::mbuf::Mbuf {
+            data: seg.clone(),
+            loc: crate::mbuf::DataLoc::Main,
+        }];
+        let _ = in_cksum(ctx, &hdr_chain, seg.len(), 0);
+        ip_output(ctx, IPPROTO_TCP, faddr, seg);
+    });
+}

@@ -1,0 +1,108 @@
+//! UDP input and output.
+//!
+//! "An interesting situation arises due to the fact that UDP checksums
+//! are usually turned off with NFS; since the checksum routine contributed
+//! a large proportion to the CPU overhead, NFS actually provides less
+//! overhead and better throughput than an FTP style connection!"  The
+//! `udp_cksum` config flag reproduces exactly that asymmetry.
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::in_cksum::in_cksum;
+use crate::ip::ip_output;
+use crate::mbuf::{chain_bytes, chain_len, m_freem, Chain};
+use crate::socket::{sbappend, sowakeup};
+use crate::synch::wakeup;
+use crate::wire_fmt::{self, parse_udp, pseudo_sum, Ipv4View, IPPROTO_UDP, IP_HDR, UDP_HDR};
+
+/// Sleep channel for an NFS transaction id.
+pub fn nfs_chan(xid: u32) -> u64 {
+    0x6000_0000 + xid as u64
+}
+
+/// `udp_input`: deliver a datagram to its socket, or capture an NFS
+/// reply.
+pub fn udp_input(ctx: &mut Ctx, mut chain: Chain, view: Ipv4View) {
+    kfn(ctx, KFn::UdpInput, |ctx| {
+        ctx.t_us(8);
+        let trim = IP_HDR.min(chain[0].data.len());
+        chain[0].data.drain(..trim);
+        let udp_len = (view.total_len as usize).saturating_sub(IP_HDR);
+        if udp_len > chain_len(&chain) || udp_len < UDP_HDR {
+            m_freem(ctx, chain);
+            return;
+        }
+        let head = chain_bytes(&chain);
+        let Some(uh) = parse_udp(&head) else {
+            m_freem(ctx, chain);
+            return;
+        };
+        // Checksum only if the sender computed one AND we are configured
+        // to check (a zero field means "no checksum" in UDP).
+        if uh.cksum != 0 && ctx.k.config.udp_cksum {
+            let ps = pseudo_sum(view.src, view.dst, IPPROTO_UDP, udp_len as u16);
+            if in_cksum(ctx, &chain, udp_len, ps) != 0 {
+                ctx.k.stats.cksum_drops += 1;
+                m_freem(ctx, chain);
+                return;
+            }
+        }
+        // NFS reply port: stash the payload by xid and wake the waiter.
+        if uh.dport == crate::nfs::NFS_CLIENT_PORT {
+            let payload = head[UDP_HDR..udp_len].to_vec();
+            if payload.len() >= 4 {
+                let xid = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                ctx.k.net.nfs_replies.insert(xid, payload);
+                m_freem(ctx, chain);
+                wakeup(ctx, nfs_chan(xid));
+                return;
+            }
+        }
+        // Ordinary socket delivery.
+        let pcb = ctx
+            .k
+            .net
+            .pcbs
+            .iter()
+            .position(|p| p.proto == IPPROTO_UDP && p.lport == uh.dport);
+        ctx.t_us(3);
+        match pcb {
+            Some(i) => {
+                let sock = ctx.k.net.pcbs[i].sock;
+                let mut data = chain;
+                let mut to_trim = UDP_HDR;
+                for m in &mut data {
+                    let t = to_trim.min(m.data.len());
+                    m.data.drain(..t);
+                    to_trim -= t;
+                    if to_trim == 0 {
+                        break;
+                    }
+                }
+                data.retain(|m| !m.data.is_empty());
+                sbappend(ctx, sock, data);
+                sowakeup(ctx, sock);
+            }
+            None => m_freem(ctx, chain),
+        }
+    });
+}
+
+/// `udp_output`: send `payload` as a datagram from `pcb`.
+pub fn udp_output(ctx: &mut Ctx, pcb: usize, payload: Vec<u8>, dst: u32, dport: u16) {
+    kfn(ctx, KFn::UdpOutput, |ctx| {
+        ctx.t_us(9);
+        let lport = ctx.k.net.pcbs[pcb].lport;
+        let with_cksum = ctx.k.config.udp_cksum;
+        let dgram = wire_fmt::build_udp(wire_fmt::PC_IP, dst, lport, dport, &payload, with_cksum);
+        if with_cksum {
+            let ch = vec![crate::mbuf::Mbuf {
+                data: dgram.clone(),
+                loc: crate::mbuf::DataLoc::Main,
+            }];
+            let ps = pseudo_sum(wire_fmt::PC_IP, dst, IPPROTO_UDP, dgram.len() as u16);
+            let _ = in_cksum(ctx, &ch, dgram.len(), ps);
+        }
+        ip_output(ctx, IPPROTO_UDP, dst, dgram);
+    });
+}

@@ -1,0 +1,60 @@
+//! User-mode execution helpers: what a simulated process does between
+//! system calls.
+
+use crate::ctx::Ctx;
+use crate::synch::preempt;
+use crate::vm::vm_fault;
+
+/// A user program: the body a process thread runs.  It receives the
+/// execution context and makes system calls; returning ends the process
+/// (an implicit `exit(0)`).
+pub type UserProgram = Box<dyn FnOnce(&mut Ctx<'_>) + Send + 'static>;
+
+/// Burn `us` microseconds of user-mode computation, in small slices so
+/// interrupts land at realistic points, honouring preemption at slice
+/// boundaries.
+pub fn ucompute(ctx: &mut Ctx, us: u64) {
+    let mut left = us;
+    while left > 0 {
+        let slice = left.min(20);
+        ctx.t_us(slice);
+        left -= slice;
+        if ctx.k.sched.need_resched && ctx.intr_depth == 0 {
+            preempt(ctx);
+        }
+    }
+}
+
+/// Touch `n` pages of the current process's data/stack, faulting each in
+/// (the post-exec fault storm).  `write` selects the access type.
+pub fn utouch_pages(ctx: &mut Ctx, n: u32, write: bool) {
+    let me = ctx.me;
+    let vs = ctx.k.procs.get(me).vmspace;
+    assert_ne!(vs, u32::MAX, "process has no address space");
+    // Walk the map entries, touching pages not yet resident.
+    let entries = ctx.k.vm.space(vs).map.clone();
+    let mut touched = 0u32;
+    'outer: for e in entries.iter().rev() {
+        if write && !e.writable {
+            continue;
+        }
+        let mut va = e.start;
+        while va < e.end {
+            if touched >= n {
+                break 'outer;
+            }
+            let pte = ctx.k.vm.space(vs).pmap.pte(va);
+            let resident_rw =
+                pte & crate::pmap::PG_V != 0 && (!write || pte & crate::pmap::PG_RW != 0);
+            if !resident_rw {
+                // The access traps.
+                ctx.t_us(6);
+                let ok = vm_fault(ctx, vs, va, write);
+                assert!(ok, "fault at {va:#x} failed");
+                touched += 1;
+            }
+            ctx.t_us(1); // the user-mode access itself
+            va = va.wrapping_add(crate::pmap::PAGE_SIZE);
+        }
+    }
+}

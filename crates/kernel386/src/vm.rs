@@ -1,0 +1,249 @@
+//! The Mach-derived VM layer: vmspaces, map entries, `vm_fault`,
+//! `kmem_alloc`.
+//!
+//! The paper on this code: "a member of the CRSG has been heard to say
+//! that the old BSD VM code was ripped from the kernel, and the Mach
+//! memory management code placed next to the kernel and hot glue poured
+//! down the middle [...] it seems the glue is fairly thick in some places
+//! and thin in others."  The thick glue shows up here as the fixed
+//! kernel-map overhead in `kmem_alloc` (Table 1: ~800 µs) and the
+//! per-page cross-calling into `pmap_pte`.
+
+use crate::ctx::{kfn, Ctx};
+use crate::funcs::KFn;
+use crate::pmap::{pmap_enter, pmap_remove, Pmap, PAGE_SIZE, PG_V};
+use crate::subr::{bcopy, bzero, CopyKind};
+
+/// What backs a map entry's pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// Anonymous zero-fill (stack, bss).
+    ZeroFill,
+    /// Pages resident in the object cache (a cached program image).
+    CachedObject,
+}
+
+/// One vm_map entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MapEntry {
+    /// First address.
+    pub start: u32,
+    /// One past the last address.
+    pub end: u32,
+    /// Backing store.
+    pub backing: Backing,
+    /// Writable mapping.
+    pub writable: bool,
+    /// Copy-on-write (fork has shadowed it).
+    pub cow: bool,
+}
+
+impl MapEntry {
+    /// Pages covered.
+    pub fn pages(&self) -> u32 {
+        (self.end - self.start) / PAGE_SIZE
+    }
+}
+
+/// One address space.
+#[derive(Debug, Default)]
+pub struct Vmspace {
+    /// The sorted entry list.
+    pub map: Vec<MapEntry>,
+    /// Hardware page tables.
+    pub pmap: Pmap,
+    /// Shared references (vfork).
+    pub refcnt: u32,
+}
+
+impl Vmspace {
+    /// The entry containing `va`.
+    pub fn entry_at(&self, va: u32) -> Option<usize> {
+        self.map.iter().position(|e| e.start <= va && va < e.end)
+    }
+}
+
+/// Global VM state.
+#[derive(Debug)]
+pub struct VmState {
+    spaces: Vec<Option<Vmspace>>,
+    phys_next: u32,
+    /// Faults resolved.
+    pub faults: u64,
+    /// Zero-fill faults.
+    pub zero_fills: u64,
+    /// COW copy faults.
+    pub cow_copies: u64,
+}
+
+impl Default for VmState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VmState {
+    /// Fresh state with the kernel's own vmspace at index 0.
+    pub fn new() -> Self {
+        VmState {
+            spaces: vec![Some(Vmspace {
+                map: Vec::new(),
+                pmap: Pmap::new(),
+                refcnt: 1,
+            })],
+            phys_next: 0x400, // above the kernel
+            faults: 0,
+            zero_fills: 0,
+            cow_copies: 0,
+        }
+    }
+
+    /// Allocates an empty vmspace.
+    pub fn alloc_space(&mut self) -> u32 {
+        self.spaces.push(Some(Vmspace {
+            map: Vec::new(),
+            pmap: Pmap::new(),
+            refcnt: 1,
+        }));
+        (self.spaces.len() - 1) as u32
+    }
+
+    /// Access a vmspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space has been freed.
+    pub fn space(&self, vs: u32) -> &Vmspace {
+        self.spaces[vs as usize].as_ref().expect("freed vmspace")
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space has been freed.
+    pub fn space_mut(&mut self, vs: u32) -> &mut Vmspace {
+        self.spaces[vs as usize].as_mut().expect("freed vmspace")
+    }
+
+    /// True if the space is still allocated.
+    pub fn space_live(&self, vs: u32) -> bool {
+        self.spaces.get(vs as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// Next free physical page frame number.
+    pub fn next_phys_page(&mut self) -> u32 {
+        self.phys_next += 1;
+        self.phys_next
+    }
+
+    fn drop_space(&mut self, vs: u32) {
+        self.spaces[vs as usize] = None;
+    }
+}
+
+/// `vm_page_lookup`: probe the object/offset page hash (Figure 5: ~18 µs
+/// net on average).  Returns whether the page is resident in the object
+/// cache.
+pub fn vm_page_lookup(ctx: &mut Ctx, backing: Backing, resident_pte: bool) -> bool {
+    kfn(ctx, KFn::VmPageLookup, |ctx| {
+        ctx.t_us(13);
+        match backing {
+            Backing::CachedObject => true,
+            Backing::ZeroFill => resident_pte,
+        }
+    })
+}
+
+/// `vm_fault`: resolve a fault at `va` in `vs`; `write` is the access
+/// type.  Returns `false` for an address outside the map (a segfault).
+pub fn vm_fault(ctx: &mut Ctx, vs: u32, va: u32, write: bool) -> bool {
+    kfn(ctx, KFn::VmFault, |ctx| {
+        ctx.k.stats.page_faults += 1;
+        ctx.k.vm.faults += 1;
+        // Map lookup.
+        let nentries = ctx.k.vm.space(vs).map.len() as u64;
+        ctx.charge(200 + nentries * 45);
+        let Some(ei) = ctx.k.vm.space(vs).entry_at(va) else {
+            return false;
+        };
+        let entry = ctx.k.vm.space(vs).map[ei];
+        let va = va & !(PAGE_SIZE - 1);
+        let pte = ctx.k.vm.space(vs).pmap.pte(va);
+        let resident = pte & PG_V != 0;
+        let cached = vm_page_lookup(ctx, entry.backing, resident);
+        // Object chain walk (the Mach shadow-object glue).
+        ctx.t_us(9);
+        if entry.cow && write {
+            // Copy-on-write: new page, copy the original.
+            ctx.k.vm.cow_copies += 1;
+            ctx.t_us(8);
+            bcopy(ctx, PAGE_SIZE as usize, CopyKind::MainToMain);
+            pmap_enter(ctx, vs, va, true);
+            let e = &mut ctx.k.vm.space_mut(vs).map[ei];
+            let _ = e;
+        } else if cached {
+            // Map the cached object page directly.
+            ctx.t_us(5);
+            pmap_enter(ctx, vs, va, entry.writable && !entry.cow);
+        } else {
+            // Anonymous zero-fill.
+            ctx.k.vm.zero_fills += 1;
+            ctx.t_us(6);
+            bzero(ctx, PAGE_SIZE as usize);
+            pmap_enter(ctx, vs, va, entry.writable);
+        }
+        true
+    })
+}
+
+/// Non-profiled page grab for internal page-table growth: charged, but
+/// not a `kmem_alloc` call (the real pmap takes pages straight from the
+/// free list).
+pub fn kmem_alloc_pages(ctx: &mut Ctx, pages: u32) {
+    for _ in 0..pages {
+        ctx.t_us(9);
+        bzero(ctx, PAGE_SIZE as usize);
+    }
+}
+
+/// `kmem_alloc`: allocate wired kernel memory (Table 1: ~800 µs for a
+/// page — the kernel-map entry scan is the thick glue).
+pub fn kmem_alloc(ctx: &mut Ctx, size: usize) {
+    kfn(ctx, KFn::KmemAlloc, |ctx| {
+        let pages = (size as u32).div_ceil(PAGE_SIZE);
+        // Kernel map lock + entry list scan + object setup.
+        ctx.t_us(580);
+        kmem_alloc_pages(ctx, pages);
+        // Enter the wired mappings.
+        for _ in 0..pages {
+            ctx.t_us(22);
+        }
+    });
+}
+
+/// `kmem_free`: release wired kernel memory.
+pub fn kmem_free(ctx: &mut Ctx, size: usize) {
+    kfn(ctx, KFn::KmemFree, |ctx| {
+        let pages = (size as u32).div_ceil(PAGE_SIZE);
+        ctx.t_us(90 + pages as u64 * 14);
+    });
+}
+
+/// Drops a reference to `vs`, tearing the space down (profiled
+/// `pmap_remove` storm) when the last reference goes.
+pub fn vmspace_free(ctx: &mut Ctx, vs: u32) {
+    {
+        let s = ctx.k.vm.space_mut(vs);
+        s.refcnt -= 1;
+        if s.refcnt > 0 {
+            return;
+        }
+    }
+    let entries: Vec<MapEntry> = ctx.k.vm.space(vs).map.clone();
+    for e in entries {
+        pmap_remove(ctx, vs, e.start, e.end);
+        ctx.t_us(12); // entry + object teardown
+    }
+    ctx.k.vm.drop_space(vs);
+}

@@ -1,0 +1,335 @@
+//! Wire formats: Ethernet, IPv4, TCP, UDP encode/decode and the Internet
+//! checksum arithmetic.
+//!
+//! These are plain byte-level helpers with no machine-time cost: the
+//! remote host models use them for free (their CPU is not ours), and the
+//! kernel charges its own time through `in_cksum` and the driver copies.
+//! All packets in the simulation are real bytes with real checksums, so a
+//! corrupted frame really is dropped by the receive path.
+
+/// Ethernet header length.
+pub const ETHER_HDR: usize = 14;
+/// IPv4 header length (no options).
+pub const IP_HDR: usize = 20;
+/// TCP header length (no options).
+pub const TCP_HDR: usize = 20;
+/// UDP header length.
+pub const UDP_HDR: usize = 8;
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IP: u16 = 0x0800;
+/// IP protocol numbers.
+pub const IPPROTO_TCP: u8 = 6;
+/// UDP protocol number.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// TCP flag bits.
+pub mod tcpflags {
+    /// Acknowledge.
+    pub const ACK: u8 = 0x10;
+    /// Push.
+    pub const PSH: u8 = 0x08;
+}
+
+/// The PC's IP address in every scenario.
+pub const PC_IP: u32 = 0xC0A8_0102; // 192.168.1.2
+/// The remote host's (SparcStation's) address.
+pub const REMOTE_IP: u32 = 0xC0A8_0101; // 192.168.1.1
+
+/// One's-complement sum of `data` (the Internet checksum accumulator).
+pub fn cksum_add(mut sum: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds the accumulator and complements: the final checksum value.
+pub fn cksum_fin(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Checksum of a contiguous buffer.
+pub fn cksum(data: &[u8]) -> u16 {
+    cksum_fin(cksum_add(0, data))
+}
+
+/// Pseudo-header accumulator for TCP/UDP.
+pub fn pseudo_sum(src: u32, dst: u32, proto: u8, len: u16) -> u32 {
+    let mut sum = 0u32;
+    sum += src >> 16;
+    sum += src & 0xffff;
+    sum += dst >> 16;
+    sum += dst & 0xffff;
+    sum += u32::from(proto);
+    sum += u32::from(len);
+    sum
+}
+
+/// Builds an Ethernet frame around `payload`.
+pub fn build_ether(ethertype: u16, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(ETHER_HDR + payload.len());
+    f.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x02]); // dst (the PC)
+    f.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x01]); // src
+    f.extend_from_slice(&ethertype.to_be_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Builds an IPv4 packet (header checksum filled in).
+pub fn build_ipv4(proto: u8, src: u32, dst: u32, payload: &[u8]) -> Vec<u8> {
+    let total = (IP_HDR + payload.len()) as u16;
+    let mut p = Vec::with_capacity(total as usize);
+    p.push(0x45); // version + ihl
+    p.push(0);
+    p.extend_from_slice(&total.to_be_bytes());
+    p.extend_from_slice(&[0, 0, 0, 0]); // id + frag
+    p.push(64); // ttl
+    p.push(proto);
+    p.extend_from_slice(&[0, 0]); // checksum placeholder
+    p.extend_from_slice(&src.to_be_bytes());
+    p.extend_from_slice(&dst.to_be_bytes());
+    let c = cksum(&p[..IP_HDR]);
+    p[10..12].copy_from_slice(&c.to_be_bytes());
+    p.extend_from_slice(payload);
+    p
+}
+
+/// Builds a TCP segment (checksum filled in, including pseudo-header).
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp_win(
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+    seq: u32,
+    ack: u32,
+    flags: u8,
+    window: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let len = (TCP_HDR + payload.len()) as u16;
+    let mut s = Vec::with_capacity(len as usize);
+    s.extend_from_slice(&sport.to_be_bytes());
+    s.extend_from_slice(&dport.to_be_bytes());
+    s.extend_from_slice(&seq.to_be_bytes());
+    s.extend_from_slice(&ack.to_be_bytes());
+    s.push(0x50); // data offset
+    s.push(flags);
+    s.extend_from_slice(&window.to_be_bytes());
+    s.extend_from_slice(&[0, 0, 0, 0]); // cksum + urgent
+    s.extend_from_slice(payload);
+    let sum = cksum_fin(cksum_add(pseudo_sum(src, dst, IPPROTO_TCP, len), &s));
+    s[16..18].copy_from_slice(&sum.to_be_bytes());
+    s
+}
+
+/// [`build_tcp_win`] with the default 16 KiB window.
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp(
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+    seq: u32,
+    ack: u32,
+    flags: u8,
+    payload: &[u8],
+) -> Vec<u8> {
+    build_tcp_win(src, dst, sport, dport, seq, ack, flags, 16384, payload)
+}
+
+/// Builds a UDP datagram; `with_cksum = false` leaves the field zero
+/// (checksum disabled), as NFS deployments of the era ran.
+pub fn build_udp(
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+    payload: &[u8],
+    with_cksum: bool,
+) -> Vec<u8> {
+    let len = (UDP_HDR + payload.len()) as u16;
+    let mut s = Vec::with_capacity(len as usize);
+    s.extend_from_slice(&sport.to_be_bytes());
+    s.extend_from_slice(&dport.to_be_bytes());
+    s.extend_from_slice(&len.to_be_bytes());
+    s.extend_from_slice(&[0, 0]);
+    s.extend_from_slice(payload);
+    if with_cksum {
+        let sum = cksum_fin(cksum_add(pseudo_sum(src, dst, IPPROTO_UDP, len), &s));
+        let sum = if sum == 0 { 0xffff } else { sum };
+        s[6..8].copy_from_slice(&sum.to_be_bytes());
+    }
+    s
+}
+
+/// Parsed view of an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4View {
+    /// Protocol field.
+    pub proto: u8,
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Total length field.
+    pub total_len: u16,
+}
+
+/// Parses an IPv4 header; `None` if malformed.
+pub fn parse_ipv4(p: &[u8]) -> Option<Ipv4View> {
+    if p.len() < IP_HDR || p[0] != 0x45 {
+        return None;
+    }
+    let total_len = u16::from_be_bytes([p[2], p[3]]);
+    if (total_len as usize) > p.len() {
+        return None;
+    }
+    Some(Ipv4View {
+        proto: p[9],
+        src: u32::from_be_bytes([p[12], p[13], p[14], p[15]]),
+        dst: u32::from_be_bytes([p[16], p[17], p[18], p[19]]),
+        total_len,
+    })
+}
+
+/// Parsed view of a TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpView {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Advertised window.
+    pub window: u16,
+    /// Header length in bytes.
+    pub hlen: usize,
+}
+
+/// Parses a TCP header; `None` if malformed.
+pub fn parse_tcp(s: &[u8]) -> Option<TcpView> {
+    if s.len() < TCP_HDR {
+        return None;
+    }
+    let hlen = ((s[12] >> 4) as usize) * 4;
+    if hlen < TCP_HDR || hlen > s.len() {
+        return None;
+    }
+    Some(TcpView {
+        sport: u16::from_be_bytes([s[0], s[1]]),
+        dport: u16::from_be_bytes([s[2], s[3]]),
+        seq: u32::from_be_bytes([s[4], s[5], s[6], s[7]]),
+        ack: u32::from_be_bytes([s[8], s[9], s[10], s[11]]),
+        flags: s[13],
+        window: u16::from_be_bytes([s[14], s[15]]),
+        hlen,
+    })
+}
+
+/// Parsed view of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpView {
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Length field.
+    pub len: u16,
+    /// Raw checksum field (0 = disabled).
+    pub cksum: u16,
+}
+
+/// Parses a UDP header; `None` if malformed.
+pub fn parse_udp(s: &[u8]) -> Option<UdpView> {
+    if s.len() < UDP_HDR {
+        return None;
+    }
+    Some(UdpView {
+        sport: u16::from_be_bytes([s[0], s[1]]),
+        dport: u16::from_be_bytes([s[2], s[3]]),
+        len: u16::from_be_bytes([s[4], s[5]]),
+        cksum: u16::from_be_bytes([s[6], s[7]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example: 0001 f203 f4f5 f6f7 -> sum 0xddf2 -> cksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(cksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn verify_by_summing_to_zero() {
+        let mut p = build_ipv4(IPPROTO_TCP, PC_IP, REMOTE_IP, &[1, 2, 3]);
+        // A header whose checksum field is filled sums to zero.
+        assert_eq!(cksum(&p[..IP_HDR]), 0);
+        // Corrupt a byte: no longer zero.
+        p[8] ^= 0xff;
+        assert_ne!(cksum(&p[..IP_HDR]), 0);
+    }
+
+    #[test]
+    fn tcp_checksum_validates_and_catches_corruption() {
+        let payload: Vec<u8> = (0..1460u16).map(|i| (i % 256) as u8).collect();
+        let mut seg = build_tcp(REMOTE_IP, PC_IP, 2000, 5001, 7, 0, tcpflags::ACK, &payload);
+        let ok = cksum_fin(cksum_add(
+            pseudo_sum(REMOTE_IP, PC_IP, IPPROTO_TCP, seg.len() as u16),
+            &seg,
+        ));
+        assert_eq!(ok, 0, "valid segment sums to zero");
+        seg[100] ^= 1;
+        let bad = cksum_fin(cksum_add(
+            pseudo_sum(REMOTE_IP, PC_IP, IPPROTO_TCP, seg.len() as u16),
+            &seg,
+        ));
+        assert_ne!(bad, 0);
+    }
+
+    #[test]
+    fn udp_without_checksum_stays_zero() {
+        let d = build_udp(PC_IP, REMOTE_IP, 1023, 2049, &[9; 64], false);
+        let v = parse_udp(&d).unwrap();
+        assert_eq!(v.cksum, 0);
+        assert_eq!(v.len as usize, 64 + UDP_HDR);
+        let d2 = build_udp(PC_IP, REMOTE_IP, 1023, 2049, &[9; 64], true);
+        assert_ne!(parse_udp(&d2).unwrap().cksum, 0);
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        let seg = build_tcp(REMOTE_IP, PC_IP, 2000, 5001, 42, 99, tcpflags::PSH, b"hi");
+        let v = parse_tcp(&seg).unwrap();
+        assert_eq!(v.sport, 2000);
+        assert_eq!(v.dport, 5001);
+        assert_eq!(v.seq, 42);
+        assert_eq!(v.ack, 99);
+        assert_eq!(v.hlen, TCP_HDR);
+        let ip = build_ipv4(IPPROTO_TCP, REMOTE_IP, PC_IP, &seg);
+        let iv = parse_ipv4(&ip).unwrap();
+        assert_eq!(iv.proto, IPPROTO_TCP);
+        assert_eq!(iv.src, REMOTE_IP);
+        assert_eq!(iv.total_len as usize, IP_HDR + seg.len());
+        let frame = build_ether(ETHERTYPE_IP, &ip);
+        assert_eq!(&frame[ETHER_HDR..], &ip[..]);
+        assert!(parse_ipv4(&[0u8; 4]).is_none());
+        assert!(parse_tcp(&[0u8; 10]).is_none());
+    }
+}

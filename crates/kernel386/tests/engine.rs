@@ -1,0 +1,272 @@
+//! End-to-end tests of the simulation engine: scheduling, sleeping,
+//! interrupts, fork/exec, networking and the filesystem.
+
+use hwprof_kernel386::funcs::KFn;
+use hwprof_kernel386::hosts::{pattern, NfsServer, TcpBlaster};
+use hwprof_kernel386::kern_exec::ExecImage;
+use hwprof_kernel386::kernel::Kernel;
+use hwprof_kernel386::nfs;
+use hwprof_kernel386::sim::SimBuilder;
+use hwprof_kernel386::syscall::{
+    sys_close, sys_execve, sys_open, sys_read, sys_sleep, sys_socket, sys_vfork, sys_wait,
+    sys_write,
+};
+use hwprof_kernel386::user::{ucompute, utouch_pages};
+use hwprof_kernel386::wire_fmt::IPPROTO_TCP;
+use hwprof_profiler::Profiler;
+
+#[test]
+fn single_process_computes_and_exits() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "worker",
+        Box::new(|ctx| {
+            ucompute(ctx, 50_000); // 50 ms of user work
+        }),
+    );
+    let k = sim.run();
+    // 50 ms elapsed plus overheads; the 100 Hz clock ticked ~5 times.
+    assert!(k.now_us() >= 50_000, "time {} us", k.now_us());
+    assert!(k.stats.ticks >= 4, "ticks {}", k.stats.ticks);
+    assert!(k.stats.intrs >= k.stats.ticks);
+    assert_eq!(k.live_procs, 0);
+}
+
+#[test]
+fn sleep_wakes_by_timeout() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "sleeper",
+        Box::new(|ctx| {
+            sys_sleep(ctx, 5); // 5 ticks = 50 ms
+        }),
+    );
+    let k = sim.run();
+    assert!(
+        (45_000..200_000).contains(&k.now_us()),
+        "slept until {} us",
+        k.now_us()
+    );
+    // Most of that time was idle.
+    let idle_us = k.sched.idle_cycles / 40;
+    assert!(idle_us > 40_000, "idle {idle_us} us");
+}
+
+#[test]
+fn two_processes_interleave() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "a",
+        Box::new(|ctx| {
+            for _ in 0..3 {
+                sys_sleep(ctx, 2);
+                ucompute(ctx, 5_000);
+            }
+        }),
+    );
+    sim.spawn(
+        "b",
+        Box::new(|ctx| {
+            for _ in 0..3 {
+                ucompute(ctx, 5_000);
+                sys_sleep(ctx, 2);
+            }
+        }),
+    );
+    let k = sim.run();
+    assert!(k.stats.cswitches >= 4, "switches {}", k.stats.cswitches);
+    assert_eq!(k.live_procs, 0);
+}
+
+#[test]
+fn vfork_exec_wait_roundtrip() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "parent",
+        Box::new(|ctx| {
+            // Give the parent a real address space first.
+            sys_execve(ctx, &ExecImage::shell());
+            utouch_pages(ctx, 20, true);
+            for _ in 0..2 {
+                let child = sys_vfork(
+                    ctx,
+                    "child",
+                    Box::new(|ctx| {
+                        sys_execve(ctx, &ExecImage::small_util());
+                        utouch_pages(ctx, 5, true);
+                        ucompute(ctx, 1_000);
+                    }),
+                );
+                let (reaped, code) = sys_wait(ctx);
+                assert_eq!(reaped, child);
+                assert_eq!(code, 0);
+            }
+        }),
+    );
+    let k = sim.run();
+    assert_eq!(k.live_procs, 0);
+    assert_eq!(k.procs.len(), 3);
+    // The pmap cross-calling is visible in ground truth.
+    assert!(
+        k.trace.truth(KFn::PmapPte).calls > 1000,
+        "pmap_pte called {} times",
+        k.trace.truth(KFn::PmapPte).calls
+    );
+    assert!(k.trace.truth(KFn::PmapRemove).calls >= 2);
+    assert!(k.stats.page_faults > 20);
+}
+
+#[test]
+fn tcp_receive_delivers_intact_data() {
+    let total: u64 = 64 * 1024;
+    // Paced below the PC's ~2 ms/packet capacity so nothing drops.
+    let sim = SimBuilder::new()
+        .ether(Box::new(TcpBlaster::paced(5001, 1460, total, 2500)))
+        .build();
+    sim.spawn(
+        "receiver",
+        Box::new(move |ctx| {
+            let fd = sys_socket(ctx, IPPROTO_TCP, 5001);
+            let mut got: Vec<u8> = Vec::new();
+            while (got.len() as u64) < total {
+                let data = sys_read(ctx, fd, 4096);
+                assert!(!data.is_empty());
+                got.extend_from_slice(&data);
+            }
+            // End-to-end integrity: the payload crossed the card ring,
+            // mbuf chains and socket buffer unchanged.
+            assert_eq!(got, pattern(0, total as usize));
+            sys_close(ctx, fd);
+        }),
+    );
+    let k = sim.run();
+    assert!(k.stats.packets_in >= 40, "packets {}", k.stats.packets_in);
+    assert_eq!(k.stats.cksum_drops, 0);
+    assert!(k.stats.packets_out > 0, "ACKs were sent");
+    // The checksum and copy paths actually ran.
+    assert!(k.trace.truth(KFn::InCksum).calls >= 80);
+    assert!(k.trace.truth(KFn::Bcopy).calls >= 40);
+    assert!(k.trace.truth(KFn::Soreceive).calls >= 10);
+}
+
+#[test]
+fn file_write_read_roundtrip_through_disk() {
+    let sim = SimBuilder::new().disk().build();
+    sim.spawn(
+        "writer",
+        Box::new(|ctx| {
+            let fd = sys_open(ctx, "/data/file1", true);
+            let chunk: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
+            for _ in 0..8 {
+                sys_write(ctx, fd, &chunk);
+            }
+            sys_close(ctx, fd);
+            // Read it back (cache hits).
+            let fd = sys_open(ctx, "/data/file1", false);
+            let mut back = Vec::new();
+            while back.len() < 8 * 8192 {
+                let d = sys_read(ctx, fd, 8192);
+                if d.is_empty() {
+                    break;
+                }
+                back.extend_from_slice(&d);
+            }
+            assert_eq!(back.len(), 8 * 8192);
+            let expect: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
+            assert_eq!(&back[..8192], &expect[..]);
+            assert_eq!(&back[7 * 8192..], &expect[..]);
+            sys_close(ctx, fd);
+        }),
+    );
+    let k = sim.run();
+    assert!(
+        k.stats.disk_xfers >= 16,
+        "disk xfers {}",
+        k.stats.disk_xfers
+    );
+    assert!(k.trace.truth(KFn::WdIntr).calls >= 16);
+}
+
+#[test]
+fn nfs_read_fetches_pattern_data() {
+    let sim = SimBuilder::new()
+        .ether(Box::new(NfsServer::new(1500, false)))
+        .build();
+    sim.spawn(
+        "nfsclient",
+        Box::new(|ctx| {
+            let data = nfs::nfs_read(ctx, 7, 2048, 6 * 1024);
+            assert_eq!(data.len(), 6 * 1024);
+            assert_eq!(data, pattern(2048, 6 * 1024));
+        }),
+    );
+    let k = sim.run();
+    assert!(k.trace.truth(KFn::NfsRequest).calls >= 6);
+    assert!(k.trace.truth(KFn::UdpInput).calls >= 6);
+    // Checksums off: in_cksum ran only for IP headers, never payloads.
+    let ck = k.trace.truth(KFn::InCksum);
+    let per_call_us = ck.net / 40 / ck.calls.max(1);
+    assert!(per_call_us < 80, "per-call cksum {per_call_us} us");
+}
+
+#[test]
+fn profiler_captures_kernel_triggers() {
+    let board = Profiler::stock();
+    board.set_switch(true);
+    let image = Kernel::full_image();
+    let tagfile = image.tagfile.clone();
+    let sim = SimBuilder::new()
+        .image(image)
+        .profiler(Box::new(board.clone()))
+        .build();
+    sim.spawn(
+        "worker",
+        Box::new(|ctx| {
+            sys_sleep(ctx, 3);
+            ucompute(ctx, 2_000);
+        }),
+    );
+    let k = sim.run();
+    let records = board.records();
+    assert!(records.len() > 20, "captured {}", records.len());
+    // Every captured tag resolves through the tag file.
+    for r in &records {
+        assert!(
+            !matches!(
+                tagfile.resolve(r.tag),
+                hwprof_tagfile::EventMeaning::Unknown
+            ),
+            "unknown tag {}",
+            r.tag
+        );
+    }
+    // Times are non-decreasing (no wrap in a short run).
+    for w in records.windows(2) {
+        assert!(w[1].time >= w[0].time);
+    }
+    // hardclock entry/exit pairs were captured.
+    let hc = tagfile.tag_of("hardclock").expect("hardclock tagged");
+    let entries = records.iter().filter(|r| r.tag == hc).count();
+    let exits = records.iter().filter(|r| r.tag == hc + 1).count();
+    assert_eq!(entries, exits);
+    assert!(entries >= 2);
+    // The profiled kernel took no noticeable extra time, but the trigger
+    // count matches ground truth call counts.
+    assert_eq!(k.trace.truth(KFn::Hardclock).calls, entries as u64);
+}
+
+#[test]
+fn uninstrumented_kernel_emits_nothing() {
+    let board = Profiler::stock();
+    board.set_switch(true);
+    let sim = SimBuilder::new().profiler(Box::new(board.clone())).build();
+    sim.spawn(
+        "worker",
+        Box::new(|ctx| {
+            ucompute(ctx, 5_000);
+        }),
+    );
+    let _ = sim.run();
+    assert_eq!(board.records().len(), 0);
+    assert_eq!(board.missed(), 0, "no triggers even reached the socket");
+}

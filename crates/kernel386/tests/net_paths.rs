@@ -1,0 +1,227 @@
+//! Network-path behaviour and failure injection: corrupt frames, runt
+//! frames, unknown protocols, checksum policy, external-mbuf mode.
+
+use hwprof_kernel386::funcs::KFn;
+use hwprof_kernel386::hosts::{pattern, tcp_data_frame, OneFrame, TcpBlaster};
+use hwprof_kernel386::kernel::KernelConfig;
+use hwprof_kernel386::sim::SimBuilder;
+use hwprof_kernel386::syscall::{sys_read_timeout, sys_socket};
+use hwprof_kernel386::wire_fmt::{
+    build_ether, build_ipv4, build_udp, IPPROTO_TCP, IPPROTO_UDP, PC_IP, REMOTE_IP,
+};
+
+fn recv_with_frame(
+    frame: Vec<u8>,
+    proto: u8,
+    port: u16,
+) -> (hwprof_kernel386::kernel::Kernel, Vec<u8>) {
+    let sim = SimBuilder::new()
+        .ether(Box::new(OneFrame {
+            frame,
+            delay: 80_000,
+        }))
+        .build();
+    sim.spawn(
+        "r",
+        Box::new(move |ctx| {
+            let fd = sys_socket(ctx, proto, port);
+            let d = sys_read_timeout(ctx, fd, 4096, 10);
+            // Smuggle the data out through the kernel for inspection.
+            ctx.k.net.nfs_replies.insert(0xdead, d);
+        }),
+    );
+    let mut k = sim.run();
+    let data = k.net.nfs_replies.remove(&0xdead).unwrap_or_default();
+    (k, data)
+}
+
+#[test]
+fn corrupt_tcp_checksum_is_dropped() {
+    let mut frame = tcp_data_frame(5001, 0, &pattern(0, 512));
+    // Flip a payload byte after the checksum was computed.
+    let n = frame.len();
+    frame[n - 10] ^= 0xff;
+    let (k, data) = recv_with_frame(frame, IPPROTO_TCP, 5001);
+    assert_eq!(k.stats.cksum_drops, 1, "checksum caught the corruption");
+    assert!(data.is_empty(), "nothing delivered");
+    // And the drop happened after the expensive checksum ran.
+    assert!(k.trace.truth(KFn::InCksum).calls >= 1);
+}
+
+#[test]
+fn corrupt_ip_header_is_dropped_before_tcp() {
+    let mut frame = tcp_data_frame(5001, 0, &pattern(0, 512));
+    frame[14 + 8] = 3; // mangle TTL: breaks the IP header checksum
+    let (k, data) = recv_with_frame(frame, IPPROTO_TCP, 5001);
+    assert_eq!(k.stats.cksum_drops, 1);
+    assert!(data.is_empty());
+    assert_eq!(
+        k.trace.truth(KFn::TcpInput).calls,
+        0,
+        "tcp_input never reached"
+    );
+}
+
+#[test]
+fn runt_and_unknown_frames_are_ignored() {
+    // A frame shorter than an Ethernet header.
+    let (k, data) = recv_with_frame(vec![0xAA; 9], IPPROTO_TCP, 5001);
+    assert!(data.is_empty());
+    assert_eq!(k.stats.cksum_drops, 0);
+    // An unknown ethertype.
+    let frame = build_ether(0x0806, &[0u8; 64]); // ARP-ish
+    let (k, data) = recv_with_frame(frame, IPPROTO_TCP, 5001);
+    assert!(data.is_empty());
+    assert_eq!(k.trace.truth(KFn::Ipintr).calls, 0);
+    // The mbufs the driver allocated were freed again.
+    assert_eq!(k.net.mbuf_allocs, k.net.mbuf_frees);
+}
+
+#[test]
+fn udp_delivery_and_checksum_policy() {
+    // Valid UDP datagram with a checksum, kernel configured to verify.
+    let dgram = build_udp(REMOTE_IP, PC_IP, 2000, 7000, &pattern(0, 256), true);
+    let packet = build_ipv4(IPPROTO_UDP, REMOTE_IP, PC_IP, &dgram);
+    let frame = build_ether(0x0800, &packet);
+    let sim = SimBuilder::new()
+        .config(KernelConfig {
+            udp_cksum: true,
+            ..KernelConfig::default()
+        })
+        .ether(Box::new(OneFrame {
+            frame,
+            delay: 80_000,
+        }))
+        .build();
+    sim.spawn(
+        "u",
+        Box::new(|ctx| {
+            let fd = sys_socket(ctx, IPPROTO_UDP, 7000);
+            let d = sys_read_timeout(ctx, fd, 4096, 10);
+            assert_eq!(d, pattern(0, 256));
+        }),
+    );
+    let k = sim.run();
+    assert_eq!(k.stats.cksum_drops, 0);
+    // The UDP payload checksum really ran (expensive call).
+    let ck = k.trace.truth(KFn::InCksum);
+    assert!(ck.calls >= 2, "header + UDP payload checksums");
+}
+
+#[test]
+fn corrupt_udp_checksum_dropped_only_when_checking() {
+    let mut dgram = build_udp(REMOTE_IP, PC_IP, 2000, 7000, &pattern(0, 256), true);
+    let n = dgram.len();
+    dgram[n - 1] ^= 0x55;
+    let packet = build_ipv4(IPPROTO_UDP, REMOTE_IP, PC_IP, &dgram);
+    let frame = build_ether(0x0800, &packet);
+    for check in [true, false] {
+        let sim = SimBuilder::new()
+            .config(KernelConfig {
+                udp_cksum: check,
+                ..KernelConfig::default()
+            })
+            .ether(Box::new(OneFrame {
+                frame: frame.clone(),
+                delay: 80_000,
+            }))
+            .build();
+        sim.spawn(
+            "u",
+            Box::new(move |ctx| {
+                let fd = sys_socket(ctx, IPPROTO_UDP, 7000);
+                let d = sys_read_timeout(ctx, fd, 4096, 10);
+                if check {
+                    assert!(d.is_empty(), "bad datagram must not deliver");
+                } else {
+                    // Checksums off: the kernel cannot tell (NFS mode).
+                    assert_eq!(d.len(), 256);
+                }
+            }),
+        );
+        let k = sim.run();
+        assert_eq!(k.stats.cksum_drops, u64::from(check));
+    }
+}
+
+#[test]
+fn external_mbufs_preserve_data_and_charge_isa_rates() {
+    let total: u64 = 24 * 1460;
+    let run = |external: bool| {
+        let sim = SimBuilder::new()
+            .config(KernelConfig {
+                external_mbufs: external,
+                ..KernelConfig::default()
+            })
+            .ether(Box::new(TcpBlaster::paced(5001, 1460, total, 3500)))
+            .build();
+        sim.spawn(
+            "r",
+            Box::new(move |ctx| {
+                let fd = sys_socket(ctx, IPPROTO_TCP, 5001);
+                let mut got = Vec::new();
+                loop {
+                    let d = sys_read_timeout(ctx, fd, 4096, 8);
+                    if d.is_empty() {
+                        break;
+                    }
+                    got.extend_from_slice(&d);
+                }
+                assert_eq!(got.len() as u64, total);
+                assert_eq!(got, pattern(0, total as usize), "intact via ISA reads");
+            }),
+        );
+        sim.run()
+    };
+    let stock = run(false);
+    let external = run(true);
+    // The *driver's* copy disappeared (weget no longer pays it)...
+    assert!(
+        external.trace.truth(KFn::Weget).gross < stock.trace.truth(KFn::Weget).gross / 3,
+        "driver copy gone from weget"
+    );
+    // ...the user copy moved to ISA rates (bcopy total holds roughly
+    // steady: one ISA pass either way)...
+    let b_ext = external.trace.truth(KFn::Bcopy).net;
+    let b_stock = stock.trace.truth(KFn::Bcopy).net;
+    assert!(
+        b_ext > b_stock / 2 && b_ext < b_stock * 2,
+        "copy pass moved"
+    );
+    // ...but the checksum got much more expensive (ISA fetches), which
+    // is why the paper's what-if is a net loss.
+    assert!(
+        external.trace.truth(KFn::InCksum).net > stock.trace.truth(KFn::InCksum).net * 3 / 2,
+        "checksum pays ISA rates"
+    );
+    let busy = |k: &hwprof_kernel386::kernel::Kernel| k.machine.now - k.sched.idle_cycles;
+    assert!(
+        busy(&external) > busy(&stock),
+        "external mbufs lose overall"
+    );
+}
+
+#[test]
+fn mbuf_pool_balances_after_traffic() {
+    let sim = SimBuilder::new()
+        .ether(Box::new(TcpBlaster::paced(5001, 1460, 20 * 1460, 3000)))
+        .build();
+    sim.spawn(
+        "r",
+        Box::new(|ctx| {
+            let fd = sys_socket(ctx, IPPROTO_TCP, 5001);
+            loop {
+                let d = sys_read_timeout(ctx, fd, 4096, 8);
+                if d.is_empty() {
+                    break;
+                }
+            }
+        }),
+    );
+    let k = sim.run();
+    assert!(k.net.mbuf_allocs > 20);
+    assert_eq!(
+        k.net.mbuf_allocs, k.net.mbuf_frees,
+        "every mbuf allocated was freed"
+    );
+}

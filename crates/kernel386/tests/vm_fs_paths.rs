@@ -1,0 +1,197 @@
+//! VM and filesystem behaviour: pmap residency, COW faults, vfork
+//! semantics, read-modify-write, strided I/O integrity.
+
+use hwprof_kernel386::funcs::KFn;
+use hwprof_kernel386::kern_exec::{ExecImage, STACK_TOP, TEXT_BASE};
+use hwprof_kernel386::pmap::{PAGE_SIZE, PG_RW, PG_V};
+use hwprof_kernel386::sim::SimBuilder;
+use hwprof_kernel386::syscall::{
+    sys_close, sys_execve, sys_lseek, sys_open, sys_read, sys_sleep, sys_sync, sys_vfork, sys_wait,
+    sys_write,
+};
+use hwprof_kernel386::user::{ucompute, utouch_pages};
+use hwprof_kernel386::vm::vm_fault;
+
+#[test]
+fn exec_builds_a_lazy_address_space() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "p",
+        Box::new(|ctx| {
+            sys_execve(ctx, &ExecImage::shell());
+            let me = ctx.me;
+            let vs = ctx.k.procs.get(me).vmspace;
+            // The entry point and one stack page were faulted in; the
+            // rest of the image is lazy.
+            let resident = ctx.k.vm.space(vs).pmap.resident;
+            assert!(
+                (2..=4).contains(&resident),
+                "resident after exec: {resident}"
+            );
+            // Text is mapped read-only.
+            let pte = ctx.k.vm.space(vs).pmap.pte(TEXT_BASE);
+            assert_ne!(pte & PG_V, 0, "entry point resident");
+            assert_eq!(pte & PG_RW, 0, "text read-only");
+            // Touching pages faults them in one by one.
+            utouch_pages(ctx, 10, true);
+            let now = ctx.k.vm.space(vs).pmap.resident;
+            assert!(now >= resident + 10);
+            // A fault outside every map entry fails (segfault).
+            assert!(!vm_fault(ctx, vs, 0x0700_0000, false));
+            // The stack grows down from STACK_TOP.
+            assert!(vm_fault(ctx, vs, STACK_TOP - 3 * PAGE_SIZE, true));
+        }),
+    );
+    let k = sim.run();
+    assert!(k.stats.page_faults >= 12);
+}
+
+#[test]
+fn vfork_blocks_parent_until_child_execs() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "parent",
+        Box::new(|ctx| {
+            sys_execve(ctx, &ExecImage::small_util());
+            let before = ctx.k.now_us();
+            let _ = sys_vfork(
+                ctx,
+                "child",
+                Box::new(|ctx| {
+                    // The child runs first for a while before exec.
+                    ucompute(ctx, 5_000);
+                    sys_execve(ctx, &ExecImage::small_util());
+                    ucompute(ctx, 1_000);
+                }),
+            );
+            // vfork returned: the child must have reached execve, so at
+            // least its pre-exec compute time has passed.
+            let waited = ctx.k.now_us() - before;
+            assert!(waited >= 5_000, "parent resumed after {waited} us");
+            let (pid, code) = sys_wait(ctx);
+            assert_eq!(pid, 2);
+            assert_eq!(code, 0);
+        }),
+    );
+    let k = sim.run();
+    // The shared-space bump and release balanced: both spaces are gone.
+    assert_eq!(k.live_procs, 0);
+    assert!(k.trace.truth(KFn::VmspaceFork).calls == 1);
+}
+
+#[test]
+fn exit_tears_down_resident_pages() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "p",
+        Box::new(|ctx| {
+            sys_execve(ctx, &ExecImage::small_util());
+            utouch_pages(ctx, 12, true);
+        }),
+    );
+    let k = sim.run();
+    // pmap_remove ran over the exited image at least once and the
+    // space is freed.
+    assert!(k.trace.truth(KFn::PmapRemove).calls >= 3, "teardown ran");
+    assert!(!k.vm.space_live(1), "vmspace freed at exit");
+}
+
+#[test]
+fn partial_block_writes_read_modify_write() {
+    let sim = SimBuilder::new().disk().build();
+    sim.spawn(
+        "w",
+        Box::new(|ctx| {
+            let fd = sys_open(ctx, "/f", true);
+            // Full block, then overwrite 100 bytes in the middle.
+            sys_write(ctx, fd, &vec![0x11u8; 4096]);
+            sys_lseek(ctx, fd, 1000);
+            sys_write(ctx, fd, &[0x22u8; 100]);
+            sys_sync(ctx);
+            // Read back and check the splice.
+            sys_lseek(ctx, fd, 0);
+            let d = sys_read(ctx, fd, 4096);
+            assert_eq!(d.len(), 4096);
+            assert!(d[..1000].iter().all(|&b| b == 0x11));
+            assert!(d[1000..1100].iter().all(|&b| b == 0x22));
+            assert!(d[1100..].iter().all(|&b| b == 0x11));
+            sys_close(ctx, fd);
+        }),
+    );
+    sim.run();
+}
+
+#[test]
+fn multiple_files_do_not_interfere() {
+    let sim = SimBuilder::new().disk().build();
+    sim.spawn(
+        "w",
+        Box::new(|ctx| {
+            let fds: Vec<usize> = (0..4)
+                .map(|i| sys_open(ctx, &format!("/multi/f{i}"), true))
+                .collect();
+            for (i, &fd) in fds.iter().enumerate() {
+                sys_write(ctx, fd, &vec![i as u8 + 1; 8192]);
+            }
+            for &fd in &fds {
+                sys_close(ctx, fd);
+            }
+            sys_sync(ctx);
+            for i in 0..4 {
+                let fd = sys_open(ctx, &format!("/multi/f{i}"), false);
+                let d = sys_read(ctx, fd, 8192);
+                assert_eq!(d.len(), 8192);
+                assert!(d.iter().all(|&b| b == i as u8 + 1), "file {i} intact");
+                sys_close(ctx, fd);
+            }
+        }),
+    );
+    let k = sim.run();
+    assert_eq!(k.files.open_count(), 0, "no leaked file-table entries");
+}
+
+#[test]
+fn strided_reads_return_the_right_blocks() {
+    let sim = SimBuilder::new().disk().build();
+    sim.spawn(
+        "w",
+        Box::new(|ctx| {
+            let fd = sys_open(ctx, "/stride", true);
+            for i in 0..10u8 {
+                let block = vec![i; 4096];
+                sys_write(ctx, fd, &block);
+            }
+            sys_sync(ctx);
+            sys_sleep(ctx, 2);
+            for &blk in &[7u64, 2, 9, 0, 5] {
+                sys_lseek(ctx, fd, blk * 4096);
+                let d = sys_read(ctx, fd, 4096);
+                assert!(d.iter().all(|&b| b == blk as u8), "block {blk}");
+            }
+            sys_close(ctx, fd);
+        }),
+    );
+    sim.run();
+}
+
+#[test]
+fn kmem_and_malloc_account() {
+    let sim = SimBuilder::new().build();
+    sim.spawn(
+        "m",
+        Box::new(|ctx| {
+            for _ in 0..20 {
+                hwprof_kernel386::malloc::malloc(ctx, 128);
+            }
+            for _ in 0..20 {
+                hwprof_kernel386::malloc::free(ctx, 128);
+            }
+            assert_eq!(ctx.k.kmem.inuse, 0);
+            assert_eq!(ctx.k.kmem.allocs, 20);
+            assert_eq!(ctx.k.kmem.frees, 20);
+        }),
+    );
+    let k = sim.run();
+    // Exactly one bucket refill for 20 x 128-byte objects.
+    assert_eq!(k.trace.truth(KFn::KmemAlloc).calls, 1);
+}

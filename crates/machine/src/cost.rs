@@ -1,0 +1,216 @@
+//! The calibrated cost model.
+//!
+//! Every constant here is anchored to a timing the paper reports for the
+//! 40 MHz 386 target; the anchor is quoted in each field's documentation.
+//! The *shape* of every reproduced result (which function dominates, by what
+//! ratio, where a trade-off crosses over) follows from the relationships
+//! between these constants, which is what the paper's conclusions rest on.
+
+use crate::time::Cycles;
+
+/// Per-operation cycle costs for the simulated machine.
+///
+/// All costs are in CPU cycles at 40 MHz (1 µs = 40 cycles).
+///
+/// # Examples
+///
+/// ```
+/// use hwprof_machine::CostModel;
+///
+/// let cost = CostModel::pc386();
+/// // An 8-bit ISA read is roughly 20x a main-memory word move per byte,
+/// // the paper's "up to 20 times slower" observation.
+/// let isa_per_byte = cost.isa8_byte as f64;
+/// let main_per_byte = cost.mem_word_copy as f64 / 4.0;
+/// let ratio = isa_per_byte / main_per_byte;
+/// assert!(ratio > 15.0 && ratio < 25.0, "ratio {ratio}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Copying one aligned 32-bit word main-memory to main-memory
+    /// (read + write).  Anchor: `copyout` of a 1 KiB mbuf cluster takes
+    /// about 40 µs, i.e. 1600 cycles / 256 words ≈ 6 cycles per word.
+    pub mem_word_copy: Cycles,
+    /// Zero-filling one aligned 32-bit word (`rep stosl`; write-only, so
+    /// cheaper than a copy).  Anchor: Figure 5 shows `bzero` calls peaking
+    /// at 132 µs, consistent with ~100 µs to clear a 4 KiB page.
+    pub mem_word_zero: Cycles,
+    /// Reading or writing one byte of 8-bit ISA bus memory (the WD8003E
+    /// shared RAM).  Anchor: `bcopy` of a 1500-byte frame out of the card
+    /// takes about 1045 µs ≈ 0.70 µs/byte ≈ 28 cycles.
+    pub isa8_byte: Cycles,
+    /// One 16-bit ISA I/O transfer (IDE PIO data port).  Anchor: moving a
+    /// 512-byte sector to the controller takes ~149 µs ≈ 0.58 µs per
+    /// 16-bit word ≈ 23 cycles.
+    pub isa16_word: Cycles,
+    /// One I/O-port access to a device register (e.g. the 8259 PIC).
+    /// Anchor: `splnet` averages 11 µs and performs a handful of PIC mask
+    /// writes plus bookkeeping; ~2.8 µs = 112 cycles per port access makes
+    /// the spl* family land on the paper's numbers.
+    pub io_port: Cycles,
+    /// Call + return overhead of a C function (prologue, epilogue,
+    /// argument push).  The paper remarks that "function call and return
+    /// was speedy" on the 386; ~0.45 µs = 18 cycles.
+    pub call_overhead: Cycles,
+    /// One Profiler trigger instruction (a `movb _ProfileBase+tag` load
+    /// from ISA memory decoded by the board).  Anchor: the paper measured
+    /// "about 400 nanoseconds per function" for the entry+exit pair, i.e.
+    /// ~200 ns = 8 cycles per trigger.
+    pub trigger: Cycles,
+    /// Summing one 16-bit word in the stock (poorly coded C) `in_cksum`.
+    /// Anchor: checksumming a 1 KiB packet takes 843 µs ≈ 1.65 µs per
+    /// 16-bit word ≈ 66 cycles.
+    pub cksum_c_word16: Cycles,
+    /// Summing one 16-bit word in the recoded assembler `in_cksum` the
+    /// paper proposes.  Anchor: the recode should cut per-packet time from
+    /// ~2000 µs to ~1200 µs, i.e. the checksum drops by roughly 5.5x;
+    /// 12 cycles per word gives that.
+    pub cksum_asm_word16: Cycles,
+    /// Fixed overhead of taking a hardware interrupt through the ISA/8259
+    /// path into an `ISAINTR` vector stub (save, EOI, dispatch).
+    /// Anchor: Figure 4 shows `ISAINTR` with 31 µs net around a driver
+    /// interrupt.
+    pub intr_entry: Cycles,
+    /// Extra work `ISAINTR` does per interrupt to emulate Asynchronous
+    /// System Traps (software interrupts), which the 386/ISA architecture
+    /// lacks.  Anchor: "around 24 microseconds per interrupt".
+    pub ast_emulation: Cycles,
+    /// Charged per simulated "basic block" of straight-line kernel C that
+    /// has no dominating memory traffic.  This is the small-change that
+    /// makes short functions (`min`, `splx`) cost a few microseconds.
+    pub tick: Cycles,
+}
+
+impl CostModel {
+    /// The calibrated model for the paper's 40 MHz 386 PC.
+    pub fn pc386() -> Self {
+        CostModel {
+            mem_word_copy: 6,
+            mem_word_zero: 4,
+            isa8_byte: 28,
+            isa16_word: 23,
+            io_port: 112,
+            call_overhead: 18,
+            trigger: 8,
+            cksum_c_word16: 66,
+            cksum_asm_word16: 12,
+            intr_entry: 500,    // 12.5 us of save/vector/EOI work
+            ast_emulation: 960, // 24 us, as measured in the paper
+            tick: 40,           // 1 us per charged block
+        }
+    }
+
+    /// The model for the 68020 embedded board of the first case study.
+    ///
+    /// Only the constants the 68020 case study exercises differ in ways
+    /// that matter: the board has no ISA bus (its Ethernet controller
+    /// memory is 16-bit and ~3x faster than the PC's 8-bit card) and a
+    /// multi-priority interrupt architecture that makes spl* a single
+    /// status-register move instead of PIC port pokes.
+    pub fn m68020() -> Self {
+        CostModel {
+            mem_word_copy: 8,
+            mem_word_zero: 6,
+            isa8_byte: 10,
+            isa16_word: 10,
+            io_port: 8,
+            call_overhead: 24,
+            trigger: 10,
+            cksum_c_word16: 30,
+            cksum_asm_word16: 10,
+            intr_entry: 300,
+            ast_emulation: 0,
+            tick: 50,
+        }
+    }
+
+    /// Cycles to copy `bytes` main-memory to main-memory with `bcopy`.
+    ///
+    /// Whole words move at [`CostModel::mem_word_copy`]; a trailing
+    /// partial word costs one extra word move.
+    pub fn bcopy_main(&self, bytes: usize) -> Cycles {
+        let words = (bytes / 4) as Cycles;
+        let tail = if !bytes.is_multiple_of(4) { 1 } else { 0 };
+        (words + tail) * self.mem_word_copy + self.tick
+    }
+
+    /// Cycles to copy `bytes` between main memory and 8-bit ISA memory.
+    pub fn bcopy_isa8(&self, bytes: usize) -> Cycles {
+        bytes as Cycles * self.isa8_byte + self.tick
+    }
+
+    /// Cycles to checksum `bytes` with the stock C `in_cksum`.
+    pub fn cksum_c(&self, bytes: usize) -> Cycles {
+        (bytes as Cycles).div_ceil(2) * self.cksum_c_word16 + self.tick
+    }
+
+    /// Cycles to checksum `bytes` with the recoded assembler `in_cksum`.
+    pub fn cksum_asm(&self, bytes: usize) -> Cycles {
+        (bytes as Cycles).div_ceil(2) * self.cksum_asm_word16 + self.tick
+    }
+
+    /// Cycles to checksum `bytes` while they still sit in 8-bit ISA
+    /// controller memory (each 16-bit word needs two ISA byte reads).
+    ///
+    /// This is the quantity behind the paper's what-if analysis: keeping
+    /// packets in controller memory as external mbufs would add "at least
+    /// an extra 980 microseconds" to checksum a full packet.
+    pub fn cksum_isa8(&self, bytes: usize) -> Cycles {
+        bytes as Cycles * self.isa8_byte
+            + (bytes as Cycles).div_ceil(2) * self.cksum_asm_word16
+            + self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::cycles_to_us;
+
+    #[test]
+    fn copyout_1k_near_40us() {
+        let c = CostModel::pc386();
+        let us = cycles_to_us(c.bcopy_main(1024));
+        assert!((35..=45).contains(&us), "copyout 1K = {us} us");
+    }
+
+    #[test]
+    fn isa_frame_copy_near_1045us() {
+        let c = CostModel::pc386();
+        let us = cycles_to_us(c.bcopy_isa8(1500));
+        assert!((1000..=1100).contains(&us), "frame copy = {us} us");
+    }
+
+    #[test]
+    fn cksum_1k_near_843us() {
+        let c = CostModel::pc386();
+        let us = cycles_to_us(c.cksum_c(1024));
+        assert!((800..=880).contains(&us), "cksum 1K = {us} us");
+    }
+
+    #[test]
+    fn asm_cksum_is_about_5x_faster() {
+        let c = CostModel::pc386();
+        let slow = c.cksum_c(1460);
+        let fast = c.cksum_asm(1460);
+        let ratio = slow as f64 / fast as f64;
+        assert!(ratio > 4.0 && ratio < 7.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn checksumming_in_controller_memory_is_a_loss() {
+        // The paper: doing the checksum over the ISA bus would add at
+        // least ~980 us for a full frame versus main memory.
+        let c = CostModel::pc386();
+        let extra =
+            cycles_to_us(c.cksum_isa8(1460)) as i64 - cycles_to_us(c.cksum_asm(1460)) as i64;
+        assert!(extra > 900, "extra = {extra} us");
+    }
+
+    #[test]
+    fn ide_sector_near_149us() {
+        let c = CostModel::pc386();
+        let us = cycles_to_us(c.isa16_word * 256);
+        assert!((140..=160).contains(&us), "sector PIO = {us} us");
+    }
+}

@@ -1,0 +1,50 @@
+//! The EPROM-socket side channel.
+//!
+//! The Profiler board piggy-backs on a standard JEDEC EPROM socket: only the
+//! 16 address lines and the ChipEnable/OutputEnable strobes are brought out,
+//! so from the board's point of view an event is "the socket was read at
+//! offset N at time T".  This trait is that 18-wire interface.  The machine
+//! owns at most one tap (the paper's board has a single socket cable) and
+//! presents every 8-bit read of the configured EPROM window to it.
+
+/// A device listening on the EPROM socket (the Profiler board).
+///
+/// `now_us` is the tap's view of time: the machine's cycle clock divided
+/// down to the board's 1 MHz oscillator.  The board itself truncates this
+/// to its 24-bit counter width.
+pub trait EpromTap: Send {
+    /// An 8-bit read of the EPROM window at `offset` (the low 16 address
+    /// lines) occurring at absolute microsecond `now_us`.
+    fn on_read(&mut self, offset: u16, now_us: u64);
+
+    /// Number of events currently stored in the board's RAM.
+    fn stored(&self) -> usize;
+
+    /// True if the address counter has overflowed and the board has
+    /// stopped storing (the second LED).
+    fn overflowed(&self) -> bool;
+}
+
+/// A trivial tap that counts reads; useful in tests.
+#[derive(Debug, Default)]
+pub struct CountingTap {
+    /// Total reads observed.
+    pub reads: usize,
+    /// Last (offset, time) pair observed.
+    pub last: Option<(u16, u64)>,
+}
+
+impl EpromTap for CountingTap {
+    fn on_read(&mut self, offset: u16, now_us: u64) {
+        self.reads += 1;
+        self.last = Some((offset, now_us));
+    }
+
+    fn stored(&self) -> usize {
+        self.reads
+    }
+
+    fn overflowed(&self) -> bool {
+        false
+    }
+}

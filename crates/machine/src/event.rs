@@ -1,0 +1,122 @@
+//! The deterministic device event queue.
+//!
+//! Devices act asynchronously from the CPU: the Ethernet card finishes
+//! storing a frame, the disk completes a seek, the 8254 timer ticks.  Each
+//! such action is a [`PendingEvent`] ordered by (cycle time, sequence
+//! number); the sequence number makes simultaneous events deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycles;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// 8254 channel-0 tick: raise the clock IRQ and re-arm.
+    PitTick,
+    /// Statistics-clock tick (RTC-style second timer, optionally with a
+    /// pseudo-random period): raise the stat IRQ and re-arm.
+    StatTick,
+    /// A frame finishes arriving on the Ethernet wire and is offered to
+    /// the WD8003E receive logic.
+    WireFrame(Vec<u8>),
+    /// A pacing timer belonging to the remote host model.
+    HostTimer(u64),
+    /// The WD8003E finishes serializing a transmitted frame.
+    WdTxDone,
+    /// The IDE drive completes the mechanical part of a command.
+    IdeOpDone,
+}
+
+/// An event scheduled at an absolute cycle time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Absolute cycle at which the event fires.
+    pub at: Cycles,
+    /// Tie-break sequence number (insertion order).
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl Ord for PendingEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for PendingEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-queue of device events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<PendingEvent>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at absolute cycle `at`.
+    pub fn schedule(&mut self, at: Cycles, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(PendingEvent { at, seq, kind });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Cycles) -> Option<PendingEvent> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(100, EventKind::PitTick);
+        q.schedule(50, EventKind::WdTxDone);
+        q.schedule(100, EventKind::IdeOpDone);
+        assert_eq!(q.next_at(), Some(50));
+        assert_eq!(q.pop_due(49), None);
+        assert_eq!(q.pop_due(50).unwrap().kind, EventKind::WdTxDone);
+        // Same timestamp: insertion order decides.
+        assert_eq!(q.pop_due(100).unwrap().kind, EventKind::PitTick);
+        assert_eq!(q.pop_due(100).unwrap().kind, EventKind::IdeOpDone);
+        assert!(q.is_empty());
+    }
+}

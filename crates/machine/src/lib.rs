@@ -1,0 +1,47 @@
+//! A virtual 40 MHz i386-class PC, the hardware substrate for the
+//! reproduction of *Hardware Profiling of Kernels* (Andrew McRae, 1993).
+//!
+//! The paper profiled a real 40 MHz 386 running 386BSD 0.1 with 8 MB of main
+//! memory and ISA-bus peripherals (a WD8003E 8-bit shared-memory Ethernet
+//! card and an IDE controller driving a Seagate ST3144).  None of that
+//! hardware is available, so this crate models it:
+//!
+//! * [`Machine`] — a cycle-counting virtual CPU clocked at
+//!   [`CPU_HZ`] = 40 MHz, with a deterministic event queue for device
+//!   activity and an 8259-style programmable interrupt controller
+//!   ([`Pic`]).
+//! * [`CostModel`] — every timing constant used by the simulated kernel,
+//!   each calibrated against a number the paper states (see the field
+//!   documentation for the provenance of each constant).
+//! * [`WdCard`] — the WD8003E: an 8 KiB on-board receive ring accessed over
+//!   the 8-bit ISA bus, which is why `bcopy` of a full frame costs ~1045 µs.
+//! * [`IdeController`] — IDE + ST3144 drive model with seek and rotational
+//!   latency, programmed-I/O sector transfers, and a small write buffer.
+//! * [`Wire`] — a 10 Mbit/s Ethernet with a pluggable [`RemoteHost`]
+//!   (the paper used a SparcStation 2 to saturate the wire).
+//! * [`EpromTap`] — the EPROM-socket side channel the Profiler board
+//!   piggy-backs on: any 8-bit read of the EPROM window is presented to the
+//!   tap together with the 16 low address lines (the event tag).
+//!
+//! The crate knows nothing about the kernel or the profiler board itself;
+//! it only provides hardware with honest timing.
+
+pub mod cost;
+pub mod eprom;
+pub mod event;
+pub mod ide;
+pub mod machine;
+pub mod pic;
+pub mod time;
+pub mod wd;
+pub mod wire;
+
+pub use cost::CostModel;
+pub use eprom::EpromTap;
+pub use event::{EventKind, PendingEvent};
+pub use ide::{DiskGeometry, IdeController};
+pub use machine::Machine;
+pub use pic::{Irq, Pic};
+pub use time::{cycles_to_us, ms_to_cycles, us_to_cycles, Cycles, CPU_HZ, CYCLES_PER_US};
+pub use wd::WdCard;
+pub use wire::{HostAction, RemoteHost, Wire};

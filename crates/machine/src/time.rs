@@ -1,0 +1,61 @@
+//! Virtual time.
+//!
+//! All simulated time is kept in CPU cycles of the 40 MHz processor the
+//! paper used.  One microsecond is exactly 40 cycles, so conversions are
+//! lossless for whole microseconds; the Profiler's own 1 MHz counter is
+//! derived by truncating division (the board latches whatever count its
+//! free-running counter shows, losing sub-microsecond detail exactly as the
+//! real hardware did).
+
+/// A count of CPU cycles at [`CPU_HZ`].
+pub type Cycles = u64;
+
+/// Clock rate of the simulated processor: the paper's 40 MHz 386.
+pub const CPU_HZ: u64 = 40_000_000;
+
+/// Cycles per microsecond (40 at 40 MHz).
+pub const CYCLES_PER_US: u64 = CPU_HZ / 1_000_000;
+
+/// Converts cycles to whole microseconds, truncating (as a 1 MHz latch
+/// would).
+#[inline]
+pub fn cycles_to_us(c: Cycles) -> u64 {
+    c / CYCLES_PER_US
+}
+
+/// Converts microseconds to cycles.
+#[inline]
+pub fn us_to_cycles(us: u64) -> Cycles {
+    us * CYCLES_PER_US
+}
+
+/// Converts milliseconds to cycles.
+#[inline]
+pub fn ms_to_cycles(ms: u64) -> Cycles {
+    us_to_cycles(ms * 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_us_roundtrip_is_exact_for_whole_us() {
+        for us in [0u64, 1, 94, 1045, 16_777_215] {
+            assert_eq!(cycles_to_us(us_to_cycles(us)), us);
+        }
+    }
+
+    #[test]
+    fn sub_us_cycles_truncate() {
+        assert_eq!(cycles_to_us(39), 0);
+        assert_eq!(cycles_to_us(41), 1);
+        assert_eq!(cycles_to_us(79), 1);
+    }
+
+    #[test]
+    fn ms_conversion() {
+        assert_eq!(ms_to_cycles(1), 40_000);
+        assert_eq!(cycles_to_us(ms_to_cycles(300)), 300_000);
+    }
+}

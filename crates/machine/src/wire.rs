@@ -1,0 +1,133 @@
+//! The 10 Mbit/s Ethernet wire and the remote host on the far end.
+//!
+//! The paper's network experiments used a SparcStation 2 "as I was sure it
+//! could fill the available network bandwidth to the PC over an ethernet".
+//! [`RemoteHost`] is the pluggable model of that far-end machine: it can
+//! send frames (paced by the wire rate) and react to frames the simulated
+//! PC transmits.  Concrete hosts (a TCP blaster, an NFS server, a quiet
+//! host) live with the scenarios; the wire only does timing.
+
+use crate::time::Cycles;
+
+/// Ethernet wire bit rate: 10 Mbit/s.
+pub const WIRE_BITS_PER_SEC: u64 = 10_000_000;
+
+/// Minimum Ethernet frame, including header and CRC.
+pub const MIN_FRAME: usize = 64;
+/// Interframe gap plus preamble, modelled as a flat 20 byte times.
+pub const FRAME_OVERHEAD_BYTES: usize = 20;
+
+/// Cycles for `len` bytes to serialize onto the wire at 10 Mbit/s.
+pub fn frame_time(len: usize) -> Cycles {
+    let bytes = len.max(MIN_FRAME) + FRAME_OVERHEAD_BYTES;
+    // bits / 10Mbit in 40MHz cycles: 1 bit = 4 cycles.
+    (bytes as u64) * 8 * 4
+}
+
+/// An action the remote host asks the wire to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostAction {
+    /// Deliver `bytes` to the PC's Ethernet card, the last bit arriving at
+    /// absolute cycle `at`.
+    SendFrame {
+        /// Arrival completion time.
+        at: Cycles,
+        /// Raw frame contents.
+        bytes: Vec<u8>,
+    },
+    /// Wake the host model again at `at` with `token`.
+    Timer {
+        /// Callback time.
+        at: Cycles,
+        /// Opaque value handed back to the host.
+        token: u64,
+    },
+}
+
+/// The machine on the far end of the Ethernet.
+pub trait RemoteHost: Send {
+    /// Called once when the simulation starts.
+    fn start(&mut self, now: Cycles) -> Vec<HostAction>;
+
+    /// Called when the PC transmits `frame`; `now` is the time the last
+    /// bit left the PC's card.
+    fn on_tx(&mut self, frame: &[u8], now: Cycles) -> Vec<HostAction>;
+
+    /// Called when a previously requested [`HostAction::Timer`] fires.
+    fn on_timer(&mut self, token: u64, now: Cycles) -> Vec<HostAction>;
+}
+
+/// A host that never transmits; the default quiet network.
+#[derive(Debug, Default)]
+pub struct QuietHost;
+
+impl RemoteHost for QuietHost {
+    fn start(&mut self, _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+
+    fn on_tx(&mut self, _frame: &[u8], _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+
+    fn on_timer(&mut self, _token: u64, _now: Cycles) -> Vec<HostAction> {
+        Vec::new()
+    }
+}
+
+/// The wire: a remote host plus frame accounting.
+pub struct Wire {
+    /// The far-end host model.
+    pub host: Box<dyn RemoteHost>,
+    /// Frames delivered toward the PC.
+    pub frames_to_pc: u64,
+    /// Frames transmitted by the PC.
+    pub frames_from_pc: u64,
+    /// Bytes delivered toward the PC.
+    pub bytes_to_pc: u64,
+    /// Bytes transmitted by the PC.
+    pub bytes_from_pc: u64,
+}
+
+impl Wire {
+    /// Creates a wire with the given far-end host.
+    pub fn new(host: Box<dyn RemoteHost>) -> Self {
+        Wire {
+            host,
+            frames_to_pc: 0,
+            frames_from_pc: 0,
+            bytes_to_pc: 0,
+            bytes_from_pc: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wire")
+            .field("frames_to_pc", &self.frames_to_pc)
+            .field("frames_from_pc", &self.frames_from_pc)
+            .field("bytes_to_pc", &self.bytes_to_pc)
+            .field("bytes_from_pc", &self.bytes_from_pc)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_frame_takes_about_1_2ms() {
+        // 1514 bytes + overhead at 10 Mbit/s is ~1.2 ms: the wire can
+        // carry at most ~810 full frames per second.
+        let cycles = frame_time(1514);
+        let us = cycles / 40;
+        assert!((1180..=1280).contains(&us), "{us} us");
+    }
+
+    #[test]
+    fn runt_frames_are_padded_to_minimum() {
+        assert_eq!(frame_time(10), frame_time(MIN_FRAME));
+    }
+}

@@ -1,0 +1,294 @@
+//! The board proper: counters, capture RAM, control logic, LEDs.
+
+use std::sync::Arc;
+
+use hwprof_machine::EpromTap;
+use parking_lot::Mutex;
+
+use crate::record::{serialize_raw, RawRecord};
+
+/// Hardware build options.
+///
+/// The stock board stores 16384 events of (16-bit tag, 24-bit time at
+/// 1 MHz).  The paper's future-work section considers more RAM and "a
+/// wider RAM module for accepting more clock data bits"; both are plain
+/// parameters here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardConfig {
+    /// Capture RAM depth in events.
+    pub capacity: usize,
+    /// Time field width in bits (24 on the stock board).
+    pub time_bits: u32,
+}
+
+impl Default for BoardConfig {
+    fn default() -> Self {
+        BoardConfig {
+            capacity: 16384,
+            time_bits: 24,
+        }
+    }
+}
+
+impl BoardConfig {
+    /// The future-work variant: 64 K events with a 32-bit timestamp.
+    pub fn wide() -> Self {
+        BoardConfig {
+            capacity: 65536,
+            time_bits: 32,
+        }
+    }
+
+    fn time_mask(&self) -> u64 {
+        if self.time_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.time_bits) - 1
+        }
+    }
+}
+
+/// The two indicator LEDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Leds {
+    /// "the Profiler is active and storing data".
+    pub active: bool,
+    /// "the address counter has overflowed and the Profiler has
+    /// automatically ceased storing data".
+    pub overflow: bool,
+}
+
+#[derive(Debug)]
+struct BoardState {
+    config: BoardConfig,
+    ram: Vec<RawRecord>,
+    armed: bool,
+    overflowed: bool,
+    /// Total trigger reads seen while not storing (armed off or
+    /// overflowed); useful to quantify what a capture missed.
+    missed: u64,
+}
+
+/// A handle to the Profiler board.
+///
+/// Clones share the same hardware: the machine holds one clone as its
+/// EPROM-socket tap; the operator holds another to flip the switch and
+/// carry the RAMs to the analysis host.
+///
+/// # Examples
+///
+/// ```
+/// use hwprof_profiler::Profiler;
+/// use hwprof_machine::EpromTap;
+///
+/// let mut board = Profiler::stock();
+/// board.set_switch(true);
+/// board.on_read(502, 1000);
+/// board.on_read(503, 1042);
+/// let records = board.records();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[1].time - records[0].time, 42);
+/// ```
+#[derive(Clone)]
+pub struct Profiler {
+    state: Arc<Mutex<BoardState>>,
+}
+
+impl Profiler {
+    /// Builds a board with the given configuration, switch off.
+    pub fn new(config: BoardConfig) -> Self {
+        Profiler {
+            state: Arc::new(Mutex::new(BoardState {
+                config,
+                ram: Vec::with_capacity(config.capacity),
+                armed: false,
+                overflowed: false,
+                missed: 0,
+            })),
+        }
+    }
+
+    /// The stock 16384-event, 24-bit board.
+    pub fn stock() -> Self {
+        Self::new(BoardConfig::default())
+    }
+
+    /// Flips the recording switch.
+    ///
+    /// Switching on clears overflow and begins storing at the current RAM
+    /// address (the RAMs are *not* erased — the operator clears them
+    /// explicitly with [`Profiler::clear`], since they are battery
+    /// backed).
+    pub fn set_switch(&self, on: bool) {
+        let mut s = self.state.lock();
+        s.armed = on;
+        if on {
+            s.overflowed = false;
+        }
+    }
+
+    /// Erases the capture RAM and resets the address counter.
+    pub fn clear(&self) {
+        let mut s = self.state.lock();
+        s.ram.clear();
+        s.overflowed = false;
+        s.missed = 0;
+    }
+
+    /// The LED pair.
+    pub fn leds(&self) -> Leds {
+        let s = self.state.lock();
+        Leds {
+            active: s.armed && !s.overflowed,
+            overflow: s.overflowed,
+        }
+    }
+
+    /// Copies the stored records out (the SmartSocket transfer).
+    pub fn records(&self) -> Vec<RawRecord> {
+        self.state.lock().ram.clone()
+    }
+
+    /// The raw 5-byte-per-event RAM image for upload to the UNIX host.
+    pub fn dump_raw(&self) -> Vec<u8> {
+        serialize_raw(&self.state.lock().ram)
+    }
+
+    /// Trigger reads that arrived while the board was not storing.
+    pub fn missed(&self) -> u64 {
+        self.state.lock().missed
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().config.capacity
+    }
+}
+
+impl EpromTap for Profiler {
+    fn on_read(&mut self, offset: u16, now_us: u64) {
+        let mut s = self.state.lock();
+        if !s.armed || s.overflowed {
+            s.missed += 1;
+            return;
+        }
+        if s.ram.len() >= s.config.capacity {
+            // Address counter overflow: stop storing, light the LED.
+            s.overflowed = true;
+            s.armed = false;
+            s.missed += 1;
+            return;
+        }
+        let mask = s.config.time_mask();
+        s.ram.push(RawRecord {
+            tag: offset,
+            time: (now_us & mask) as u32,
+        });
+    }
+
+    fn stored(&self) -> usize {
+        self.state.lock().ram.len()
+    }
+
+    fn overflowed(&self) -> bool {
+        self.state.lock().overflowed
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("Profiler")
+            .field("stored", &s.ram.len())
+            .field("capacity", &s.config.capacity)
+            .field("armed", &s.armed)
+            .field("overflowed", &s.overflowed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwprof_machine::EpromTap;
+
+    #[test]
+    fn switch_gates_recording() {
+        let mut b = Profiler::stock();
+        b.on_read(10, 5);
+        assert_eq!(b.stored(), 0);
+        assert_eq!(b.missed(), 1);
+        b.set_switch(true);
+        b.on_read(10, 6);
+        assert_eq!(b.stored(), 1);
+        b.set_switch(false);
+        b.on_read(10, 7);
+        assert_eq!(b.stored(), 1);
+    }
+
+    #[test]
+    fn overflow_stops_storage_and_lights_led() {
+        let mut b = Profiler::new(BoardConfig {
+            capacity: 4,
+            time_bits: 24,
+        });
+        b.set_switch(true);
+        for i in 0..10u64 {
+            b.on_read(i as u16, i);
+        }
+        assert_eq!(b.stored(), 4);
+        assert!(b.overflowed());
+        let leds = b.leds();
+        assert!(!leds.active);
+        assert!(leds.overflow);
+        assert_eq!(b.missed(), 6);
+        // Re-arming resumes (operator emptied it first in practice).
+        b.clear();
+        b.set_switch(true);
+        b.on_read(1, 100);
+        assert_eq!(b.stored(), 1);
+        assert!(b.leds().active);
+    }
+
+    #[test]
+    fn time_wraps_at_24_bits() {
+        let mut b = Profiler::stock();
+        b.set_switch(true);
+        b.on_read(1, (1 << 24) - 1);
+        b.on_read(2, 1 << 24);
+        b.on_read(3, (1 << 24) + 10);
+        let r = b.records();
+        assert_eq!(r[0].time, 0xFF_FFFF);
+        assert_eq!(r[1].time, 0);
+        assert_eq!(r[2].time, 10);
+    }
+
+    #[test]
+    fn clones_share_hardware() {
+        let board = Profiler::stock();
+        let mut machine_side = board.clone();
+        board.set_switch(true);
+        machine_side.on_read(502, 9);
+        assert_eq!(board.stored(), 1);
+    }
+
+    #[test]
+    fn wide_board_keeps_32_bits() {
+        let mut b = Profiler::new(BoardConfig::wide());
+        b.set_switch(true);
+        b.on_read(1, 0xFFFF_FFFF);
+        assert_eq!(b.records()[0].time, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn dump_is_five_bytes_per_event() {
+        let mut b = Profiler::stock();
+        b.set_switch(true);
+        b.on_read(502, 100);
+        b.on_read(503, 150);
+        let raw = b.dump_raw();
+        assert_eq!(raw.len(), 10);
+        let parsed = crate::record::parse_raw(&raw).unwrap();
+        assert_eq!(parsed, b.records());
+    }
+}

@@ -1,0 +1,29 @@
+//! The Profiler board.
+//!
+//! From the paper: "The Profiler consists of a block of RAM which is 40
+//! bits wide, an incrementing address counter, a free running counter
+//! clocking at 1 Megahertz, and some control logic.  The RAM is split into
+//! two sections, one holding an identification code (event tag) which is
+//! 16 bits in width, and the other 24 bit wide section connected to the
+//! microsecond clock.  When an event tag is presented to the Profiler, it
+//! stores this code along with the microsecond counter value into RAM.
+//! The RAM address is automatically incremented every time an event is
+//! stored [...] The list is currently 16384 events long [...] The
+//! microsecond timer is 24 bits long, allowing a maximum time of 16
+//! seconds between events before the time is wrapped around and
+//! information is lost."
+//!
+//! The board model here is bit-exact on those properties: tag width, time
+//! width and wrap, capacity, the arm switch, the two LEDs (active,
+//! overflow), and the battery-backed-RAM upload path (a raw 5-byte record
+//! stream).  [`Profiler`] is a cheaply cloneable handle so the simulated
+//! machine can own one clone as its EPROM-socket tap while the experiment
+//! harness keeps another to flip the switch and pull the data.
+
+mod board;
+mod record;
+mod zif;
+
+pub use board::{BoardConfig, Leds, Profiler};
+pub use record::{parse_raw, serialize_raw, RawRecord, RecordError, TIME_MASK};
+pub use zif::{ram_chip_view, reassemble, RamChip};

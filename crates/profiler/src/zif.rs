@@ -1,0 +1,97 @@
+//! The future-work ZIF readback path.
+//!
+//! "The next step is to bring in the EPROM data lines as well [...] Then
+//! once the Profiler has been used to collect the data, each of the
+//! storage RAMs in turn can be multiplexed into the EPROM address space,
+//! and the data can be read as if it were an EPROM."
+//!
+//! The stock board has five 8-bit storage RAMs covering the 40-bit record:
+//! chips 0-1 hold the tag (low, high) and chips 2-4 hold the time (low,
+//! mid, high).  [`ram_chip_view`] renders the byte image of one chip, so
+//! an upload can be reassembled by reading the five images back through
+//! the socket instead of physically moving the RAMs.
+
+use crate::record::RawRecord;
+
+/// One of the five 8-bit storage RAM chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RamChip {
+    /// Tag bits 0..8.
+    TagLow,
+    /// Tag bits 8..16.
+    TagHigh,
+    /// Time bits 0..8.
+    TimeLow,
+    /// Time bits 8..16.
+    TimeMid,
+    /// Time bits 16..24.
+    TimeHigh,
+}
+
+impl RamChip {
+    /// All chips in board order.
+    pub const ALL: [RamChip; 5] = [
+        RamChip::TagLow,
+        RamChip::TagHigh,
+        RamChip::TimeLow,
+        RamChip::TimeMid,
+        RamChip::TimeHigh,
+    ];
+
+    fn extract(self, r: &RawRecord) -> u8 {
+        match self {
+            RamChip::TagLow => (r.tag & 0xff) as u8,
+            RamChip::TagHigh => (r.tag >> 8) as u8,
+            RamChip::TimeLow => (r.time & 0xff) as u8,
+            RamChip::TimeMid => ((r.time >> 8) & 0xff) as u8,
+            RamChip::TimeHigh => ((r.time >> 16) & 0xff) as u8,
+        }
+    }
+}
+
+/// The byte image of `chip`, one byte per stored event, as it would be
+/// read back through the EPROM window.
+pub fn ram_chip_view(records: &[RawRecord], chip: RamChip) -> Vec<u8> {
+    records.iter().map(|r| chip.extract(r)).collect()
+}
+
+/// Reassembles records from the five chip images (the host side of the
+/// ZIF readback).  Images must be equal length.
+///
+/// # Panics
+///
+/// Panics if the images have different lengths.
+pub fn reassemble(images: &[Vec<u8>; 5]) -> Vec<RawRecord> {
+    let n = images[0].len();
+    for img in images.iter() {
+        assert_eq!(img.len(), n, "chip images must be equal length");
+    }
+    (0..n)
+        .map(|i| RawRecord {
+            tag: u16::from_le_bytes([images[0][i], images[1][i]]),
+            time: u32::from_le_bytes([images[2][i], images[3][i], images[4][i], 0]),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_views_reassemble_exactly() {
+        let records = vec![
+            RawRecord::latch(502, 123_456),
+            RawRecord::latch(65535, 16_777_215),
+            RawRecord::latch(0, 0),
+        ];
+        let images: [Vec<u8>; 5] = [
+            ram_chip_view(&records, RamChip::TagLow),
+            ram_chip_view(&records, RamChip::TagHigh),
+            ram_chip_view(&records, RamChip::TimeLow),
+            ram_chip_view(&records, RamChip::TimeMid),
+            ram_chip_view(&records, RamChip::TimeHigh),
+        ];
+        assert_eq!(reassemble(&images), records);
+    }
+}

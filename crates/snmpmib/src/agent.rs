@@ -1,0 +1,220 @@
+//! The simulated SNMP agent and its querying client.
+//!
+//! The agent runs as a user process on the simulated kernel, answering
+//! get/get-next requests over UDP; the MIB search cost (counted
+//! comparisons) is charged as user-mode CPU.  The client lives on the far
+//! end of the wire and issues a get-next walk plus random gets, pacing
+//! itself on replies — so the CPU cycles per request are directly
+//! measurable, linear table vs B-tree.
+
+use hwprof_machine::wire::{frame_time, HostAction, RemoteHost};
+use hwprof_machine::Cycles;
+
+use hwprof_kernel386::ctx::Ctx;
+use hwprof_kernel386::syscall::{sys_read, sys_sendto, sys_socket};
+use hwprof_kernel386::user::ucompute;
+use hwprof_kernel386::wire_fmt::{
+    build_ether, build_ipv4, build_udp, parse_ipv4, parse_udp, ETHERTYPE_IP, ETHER_HDR,
+    IPPROTO_UDP, IP_HDR, PC_IP, REMOTE_IP, UDP_HDR,
+};
+
+use crate::oid::Oid;
+use crate::Mib;
+
+/// The agent's UDP port.
+pub const AGENT_PORT: u16 = 161;
+/// Request opcodes.
+const OP_GET: u8 = 0;
+const OP_GETNEXT: u8 = 1;
+
+/// Microseconds of user CPU per OID comparison: the CMU code compared
+/// sub-identifier arrays arc by arc in a function call, ~5 µs on a
+/// 68020-class CPU.
+pub const US_PER_COMPARISON: u64 = 5;
+
+/// Builds the agent program: answers `requests` queries then exits.
+pub fn snmp_agent_program(
+    mib: Box<dyn Mib + Send>,
+    requests: usize,
+) -> hwprof_kernel386::user::UserProgram {
+    Box::new(move |ctx: &mut Ctx<'_>| {
+        let fd = sys_socket(ctx, IPPROTO_UDP, AGENT_PORT);
+        let mut served = 0usize;
+        while served < requests {
+            let req = sys_read(ctx, fd, 256);
+            if req.len() < 2 {
+                continue;
+            }
+            let op = req[0];
+            let Some((oid, _)) = Oid::from_wire(&req[1..]) else {
+                continue;
+            };
+            // Decode overhead (BER parsing in the real agent).
+            ucompute(ctx, 40);
+            let (reply_oid, value, cmps) = match op {
+                OP_GET => {
+                    let (v, c) = mib.get(&oid);
+                    (oid.clone(), v, c)
+                }
+                _ => {
+                    let (n, c) = mib.get_next(&oid);
+                    match n {
+                        Some((k, v)) => (k, Some(v), c),
+                        None => (oid.clone(), None, c),
+                    }
+                }
+            };
+            // The measured cost: table search time.
+            ucompute(ctx, cmps as u64 * US_PER_COMPARISON);
+            // Encode + send the reply.
+            ucompute(ctx, 30);
+            let mut reply = reply_oid.to_wire();
+            match value {
+                Some(v) => reply.extend_from_slice(&v.to_be_bytes()),
+                None => reply.push(0xFF),
+            }
+            sys_sendto(ctx, fd, reply, REMOTE_IP, 2001);
+            served += 1;
+        }
+    })
+}
+
+/// The remote SNMP client: random exact gets across the whole MIB
+/// (a manager polling scattered objects) interleaved with a get-next
+/// walk, one request in flight at a time.
+pub struct SnmpClientHost {
+    /// Requests still to issue.
+    pub remaining: usize,
+    /// Replies received.
+    pub replies: usize,
+    /// Objects in the agent's MIB (for random-get targeting; see
+    /// [`populate`]).
+    pub mib_size: u32,
+    cursor: Vec<u32>,
+    lcg: u64,
+}
+
+impl SnmpClientHost {
+    /// A client that will issue `n` requests against a MIB of
+    /// `mib_size` objects laid out by [`populate`].
+    pub fn new(n: usize, mib_size: u32) -> Self {
+        SnmpClientHost {
+            remaining: n,
+            replies: 0,
+            mib_size,
+            cursor: vec![0],
+            lcg: 0x1993_1993,
+        }
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.lcg >> 33
+    }
+
+    fn request_frame(&mut self, now: Cycles) -> Vec<HostAction> {
+        if self.remaining == 0 {
+            return Vec::new();
+        }
+        self.remaining -= 1;
+        // Two of three requests: a random exact get; the third: advance
+        // the walk.
+        let roll = self.rand() % 3;
+        let (op, oid) = if roll < 2 && self.mib_size > 0 {
+            let i = (self.rand() % u64::from(self.mib_size)) as u32;
+            (OP_GET, populate_oid(i))
+        } else {
+            (OP_GETNEXT, Oid::new(self.cursor.clone()))
+        };
+        let mut body = vec![op];
+        body.extend_from_slice(&oid.to_wire());
+        let dgram = build_udp(REMOTE_IP, PC_IP, 2001, AGENT_PORT, &body, false);
+        let packet = build_ipv4(IPPROTO_UDP, REMOTE_IP, PC_IP, &dgram);
+        let frame = build_ether(ETHERTYPE_IP, &packet);
+        let at = now + frame_time(frame.len());
+        vec![HostAction::SendFrame { at, bytes: frame }]
+    }
+}
+
+impl RemoteHost for SnmpClientHost {
+    fn start(&mut self, now: Cycles) -> Vec<HostAction> {
+        self.request_frame(now + 20_000)
+    }
+
+    fn on_tx(&mut self, frame: &[u8], now: Cycles) -> Vec<HostAction> {
+        // Parse the agent's reply; advance the walk cursor.
+        if frame.len() < ETHER_HDR {
+            return Vec::new();
+        }
+        let ip = &frame[ETHER_HDR..];
+        let Some(v) = parse_ipv4(ip) else {
+            return Vec::new();
+        };
+        if v.proto != IPPROTO_UDP {
+            return Vec::new();
+        }
+        let udp = &ip[IP_HDR..v.total_len as usize];
+        let Some(uh) = parse_udp(udp) else {
+            return Vec::new();
+        };
+        if uh.dport != 2001 {
+            return Vec::new();
+        }
+        self.replies += 1;
+        if let Some((oid, _)) = Oid::from_wire(&udp[UDP_HDR..]) {
+            self.cursor = oid.arcs().to_vec();
+        }
+        // Think time, then next request.
+        self.request_frame(now + 8_000)
+    }
+
+    fn on_timer(&mut self, _token: u64, now: Cycles) -> Vec<HostAction> {
+        self.request_frame(now)
+    }
+}
+
+/// The OID of object `i` in the standard test layout (shared between
+/// [`populate`] and the client's random gets).
+pub fn populate_oid(i: u32) -> Oid {
+    // Spread across a few tables like a real MIB-II tree.
+    let table = 1 + i % 7;
+    let column = 1 + (i / 7) % 9;
+    let row = i / 63;
+    Oid::new(vec![1, 3, 6, 1, 2, 1, table, column, row])
+}
+
+/// Populates a MIB with `n` interface-table-style objects.
+pub fn populate(mib: &mut dyn Mib, n: u32) {
+    for i in 0..n {
+        mib.set(populate_oid(i), u64::from(i) * 3);
+    }
+}
+
+/// Runs the full case study for one MIB implementation: returns
+/// (kernel, replies served).  CPU per request = non-idle cycles /
+/// requests.
+pub fn run_case_study(
+    mib: Box<dyn Mib + Send>,
+    requests: usize,
+) -> (hwprof_kernel386::kernel::Kernel, usize) {
+    let mib_size = mib.len() as u32;
+    let client = SnmpClientHost::new(requests, mib_size);
+    let sim = hwprof_kernel386::sim::SimBuilder::new()
+        .cost(hwprof_machine::CostModel::m68020())
+        .ether(Box::new(client))
+        .build();
+    sim.spawn("snmpd", snmp_agent_program(mib, requests));
+    let k = sim.run();
+    (k, requests)
+}
+
+/// Convenience: CPU microseconds per request for `mib` under `n`
+/// requests.
+pub fn cpu_us_per_request(mib: Box<dyn Mib + Send>, requests: usize) -> u64 {
+    let (k, n) = run_case_study(mib, requests);
+    let busy = (k.machine.now - k.sched.idle_cycles) / 40;
+    busy / n as u64
+}

@@ -1,0 +1,276 @@
+//! A from-scratch B-tree MIB store: the case study's redesign.
+//!
+//! Minimum degree 8 (7..15 keys per node), preemptive-split insertion,
+//! counted comparisons throughout so the agent can charge real CPU time
+//! per request.
+
+use crate::oid::Oid;
+use crate::Mib;
+
+/// Minimum degree.
+const T: usize = 8;
+/// Maximum keys per node.
+const MAX_KEYS: usize = 2 * T - 1;
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    keys: Vec<(Oid, u64)>,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Binary search: returns `Ok(i)` on an exact hit, `Err(i)` with the
+    /// child/insertion index otherwise, plus comparisons performed.
+    fn search(&self, oid: &Oid) -> (Result<usize, usize>, usize) {
+        let mut lo = 0usize;
+        let mut hi = self.keys.len();
+        let mut cmps = 0;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            cmps += 1;
+            match oid.cmp_counted(&self.keys[mid].0) {
+                std::cmp::Ordering::Equal => return (Ok(mid), cmps),
+                std::cmp::Ordering::Less => hi = mid,
+                std::cmp::Ordering::Greater => lo = mid + 1,
+            }
+        }
+        (Err(lo), cmps)
+    }
+
+    fn split_child(&mut self, i: usize) {
+        let child = &mut self.children[i];
+        let mut right = Node {
+            keys: child.keys.split_off(T),
+            ..Node::default()
+        };
+        let median = child.keys.pop().expect("full child has 2t-1 keys");
+        if !child.leaf() {
+            right.children = child.children.split_off(T);
+        }
+        self.keys.insert(i, median);
+        self.children.insert(i + 1, right);
+    }
+
+    fn insert_nonfull(&mut self, oid: Oid, value: u64, cmps: &mut usize) -> bool {
+        let (pos, c) = self.search(&oid);
+        *cmps += c;
+        match pos {
+            Ok(i) => {
+                self.keys[i].1 = value;
+                false
+            }
+            Err(i) => {
+                if self.leaf() {
+                    self.keys.insert(i, (oid, value));
+                    true
+                } else {
+                    let mut i = i;
+                    if self.children[i].keys.len() == MAX_KEYS {
+                        self.split_child(i);
+                        *cmps += 1;
+                        match oid.cmp_counted(&self.keys[i].0) {
+                            std::cmp::Ordering::Equal => {
+                                self.keys[i].1 = value;
+                                return false;
+                            }
+                            std::cmp::Ordering::Greater => i += 1,
+                            std::cmp::Ordering::Less => {}
+                        }
+                    }
+                    self.children[i].insert_nonfull(oid, value, cmps)
+                }
+            }
+        }
+    }
+}
+
+/// The B-tree store.
+#[derive(Debug, Clone, Default)]
+pub struct BtreeMib {
+    root: Node,
+    len: usize,
+}
+
+impl BtreeMib {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Height (for structural tests).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = &self.root;
+        while !n.leaf() {
+            h += 1;
+            n = &n.children[0];
+        }
+        h
+    }
+
+    /// Checks B-tree invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a violated invariant.
+    pub fn check_invariants(&self) {
+        fn walk(n: &Node, is_root: bool, depth: usize, leaf_depth: &mut Option<usize>) {
+            assert!(n.keys.len() <= MAX_KEYS, "node too full");
+            if !is_root {
+                assert!(n.keys.len() >= T - 1, "node underfull");
+            }
+            assert!(
+                n.keys.windows(2).all(|w| w[0].0 < w[1].0),
+                "keys out of order"
+            );
+            if n.leaf() {
+                match leaf_depth {
+                    Some(d) => assert_eq!(*d, depth, "leaves at differing depths"),
+                    None => *leaf_depth = Some(depth),
+                }
+            } else {
+                assert_eq!(n.children.len(), n.keys.len() + 1);
+                for (i, c) in n.children.iter().enumerate() {
+                    if i > 0 {
+                        assert!(c.keys.first().expect("non-empty").0 > n.keys[i - 1].0);
+                    }
+                    if i < n.keys.len() {
+                        assert!(c.keys.last().expect("non-empty").0 < n.keys[i].0);
+                    }
+                    walk(c, false, depth + 1, leaf_depth);
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(&self.root, true, 0, &mut leaf_depth);
+    }
+}
+
+impl Mib for BtreeMib {
+    fn set(&mut self, oid: Oid, value: u64) -> usize {
+        let mut cmps = 0;
+        if self.root.keys.len() == MAX_KEYS {
+            let old_root = std::mem::take(&mut self.root);
+            self.root.children.push(old_root);
+            self.root.split_child(0);
+        }
+        if self.root.insert_nonfull(oid, value, &mut cmps) {
+            self.len += 1;
+        }
+        cmps
+    }
+
+    fn get(&self, oid: &Oid) -> (Option<u64>, usize) {
+        let mut n = &self.root;
+        let mut cmps = 0;
+        loop {
+            let (pos, c) = n.search(oid);
+            cmps += c;
+            match pos {
+                Ok(i) => return (Some(n.keys[i].1), cmps),
+                Err(i) => {
+                    if n.leaf() {
+                        return (None, cmps);
+                    }
+                    n = &n.children[i];
+                }
+            }
+        }
+    }
+
+    fn get_next(&self, oid: &Oid) -> (Option<(Oid, u64)>, usize) {
+        let mut n = &self.root;
+        let mut cmps = 0;
+        let mut candidate: Option<&(Oid, u64)> = None;
+        loop {
+            let (pos, c) = n.search(oid);
+            cmps += c;
+            let idx = match pos {
+                Ok(i) => i + 1, // strictly greater
+                Err(i) => i,
+            };
+            if idx < n.keys.len() {
+                candidate = Some(&n.keys[idx]);
+            }
+            if n.leaf() {
+                return (candidate.cloned(), cmps);
+            }
+            n = &n.children[idx.min(n.children.len() - 1)];
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(i: u32) -> Oid {
+        Oid::new(vec![1, 3, i / 100, i % 100])
+    }
+
+    #[test]
+    fn insert_get_and_invariants() {
+        let mut t = BtreeMib::new();
+        for i in 0..1000u32 {
+            t.set(oid(i.wrapping_mul(37) % 1000), u64::from(i));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        assert!(t.height() >= 3, "height {}", t.height());
+        // Overwrites don't grow the tree.
+        t.set(oid(5), 999);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get(&oid(5)).0, Some(999));
+        assert_eq!(t.get(&Oid::new(vec![9, 9, 9])).0, None);
+    }
+
+    #[test]
+    fn get_next_walks_in_order() {
+        let mut t = BtreeMib::new();
+        for i in (0..500u32).rev() {
+            t.set(oid(i), u64::from(i));
+        }
+        t.check_invariants();
+        let mut cur = Oid::new(vec![0]);
+        let mut count = 0;
+        let mut last: Option<Oid> = None;
+        while let (Some((k, _)), _) = t.get_next(&cur) {
+            if let Some(l) = &last {
+                assert!(l < &k);
+            }
+            last = Some(k.clone());
+            cur = k;
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn order_of_magnitude_fewer_comparisons_than_linear() {
+        use crate::linear::LinearMib;
+        let mut bt = BtreeMib::new();
+        let mut lin = LinearMib::new();
+        for i in 0..1000u32 {
+            bt.set(oid(i), 1);
+            lin.set(oid(i), 1);
+        }
+        let mut bt_c = 0;
+        let mut lin_c = 0;
+        for i in (0..1000u32).step_by(7) {
+            bt_c += bt.get(&oid(i)).1;
+            lin_c += lin.get(&oid(i)).1;
+        }
+        assert!(
+            lin_c >= bt_c * 10,
+            "linear {lin_c} vs btree {bt_c}: the order-of-magnitude claim"
+        );
+    }
+}

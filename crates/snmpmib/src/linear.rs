@@ -1,0 +1,88 @@
+//! The CMU-style linear MIB table: a sorted vector scanned front to
+//! back, the bottleneck the case study found.
+
+use crate::oid::Oid;
+use crate::Mib;
+
+/// A sorted (OID, value) vector searched linearly.
+#[derive(Debug, Default, Clone)]
+pub struct LinearMib {
+    entries: Vec<(Oid, u64)>,
+}
+
+impl LinearMib {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Mib for LinearMib {
+    fn set(&mut self, oid: Oid, value: u64) -> usize {
+        // The CMU code kept the table sorted; insertion scans for the
+        // slot.
+        let mut cmps = 0;
+        for (i, (k, v)) in self.entries.iter_mut().enumerate() {
+            cmps += 1;
+            match oid.cmp_counted(k) {
+                std::cmp::Ordering::Equal => {
+                    *v = value;
+                    return cmps;
+                }
+                std::cmp::Ordering::Less => {
+                    self.entries.insert(i, (oid, value));
+                    return cmps;
+                }
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        self.entries.push((oid, value));
+        cmps
+    }
+
+    fn get(&self, oid: &Oid) -> (Option<u64>, usize) {
+        let mut cmps = 0;
+        for (k, v) in &self.entries {
+            cmps += 1;
+            match oid.cmp_counted(k) {
+                std::cmp::Ordering::Equal => return (Some(*v), cmps),
+                std::cmp::Ordering::Less => return (None, cmps),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        (None, cmps)
+    }
+
+    fn get_next(&self, oid: &Oid) -> (Option<(Oid, u64)>, usize) {
+        let mut cmps = 0;
+        for (k, v) in &self.entries {
+            cmps += 1;
+            if k.cmp_counted(oid) == std::cmp::Ordering::Greater {
+                return (Some((k.clone(), *v)), cmps);
+            }
+        }
+        (None, cmps)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_costs_grow_with_position() {
+        let mut m = LinearMib::new();
+        for i in 0..100u32 {
+            m.set(Oid::new(vec![1, i]), u64::from(i));
+        }
+        let (v, early) = m.get(&Oid::new(vec![1, 3]));
+        assert_eq!(v, Some(3));
+        let (v, late) = m.get(&Oid::new(vec![1, 97]));
+        assert_eq!(v, Some(97));
+        assert!(late > early * 10, "late {late} early {early}");
+    }
+}

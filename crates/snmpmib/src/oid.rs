@@ -1,0 +1,93 @@
+//! Object identifiers: dotted sequences of arcs with SNMP's
+//! lexicographic ordering.
+
+use std::fmt;
+
+/// An SNMP object identifier.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(Vec<u32>);
+
+impl Oid {
+    /// An OID from its arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arcs` is empty.
+    pub fn new(arcs: Vec<u32>) -> Self {
+        assert!(!arcs.is_empty(), "empty OID");
+        Oid(arcs)
+    }
+
+    /// The arcs.
+    pub fn arcs(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Compares, also reporting that one comparison was performed (the
+    /// MIB cost unit).
+    pub fn cmp_counted(&self, other: &Oid) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+
+    /// Serializes to the simple wire form used by the simulated agent:
+    /// arc count byte then big-endian u32 arcs.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = vec![self.0.len() as u8];
+        for a in &self.0 {
+            out.extend_from_slice(&a.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses the wire form; returns the OID and bytes consumed.
+    pub fn from_wire(data: &[u8]) -> Option<(Oid, usize)> {
+        let n = *data.first()? as usize;
+        if n == 0 || data.len() < 1 + n * 4 {
+            return None;
+        }
+        let arcs = (0..n)
+            .map(|i| {
+                let o = 1 + i * 4;
+                u32::from_be_bytes([data[o], data[o + 1], data[o + 2], data[o + 3]])
+            })
+            .collect();
+        Some((Oid(arcs), 1 + n * 4))
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Oid::new(vec![1, 3, 6]);
+        let b = Oid::new(vec![1, 3, 6, 1]);
+        let c = Oid::new(vec![1, 4]);
+        assert!(a < b, "prefix sorts first");
+        assert!(b < c);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let o = Oid::new(vec![1, 3, 6, 1, 2, 1]);
+        let w = o.to_wire();
+        let (back, used) = Oid::from_wire(&w).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(used, w.len());
+        assert!(Oid::from_wire(&[]).is_none());
+        assert!(Oid::from_wire(&[3, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn display_dotted() {
+        assert_eq!(Oid::new(vec![1, 3, 6]).to_string(), "1.3.6");
+    }
+}

@@ -1,0 +1,45 @@
+//! The name/event-tag file of the Profiler.
+//!
+//! The modified compiler takes "a file containing the function names and
+//! values", of which the paper shows a sample:
+//!
+//! ```text
+//! main/502
+//! hardclock/510
+//! gatherstats/512
+//! softclock/514
+//! timeout/516
+//! untimeout/518
+//! swtch/600!
+//! MGET/1002=
+//! ```
+//!
+//! Rules reproduced from the paper:
+//!
+//! * Each *function* is assigned an even tag; the function's entry trigger
+//!   is that value and its exit trigger is the value + 1.
+//! * The file "is automatically extended by the compiler when it generates
+//!   new event tags for functions that do not already exist in the file;
+//!   the event tag for the added functions is taken as the next available
+//!   value (i.e the next value higher than the current highest in the
+//!   file)".
+//! * The file "may be generated from scratch, with an initial dummy entry
+//!   indicating the starting tag number to use".
+//! * "Once generated, the same profile tags are used to allow
+//!   recompilation without having different profile tags assigned to a
+//!   function."
+//! * "Multiple name/tag files may exist, and may be concatenated to
+//!   provide a complete list of profiled functions."
+//! * A `!` modifier marks "a function that causes a processor context
+//!   switch, which the analysing software must treat specially".
+//! * A `=` modifier marks "an inline tag, as opposed to a tag representing
+//!   the entry or exit of a function".
+
+mod parse;
+mod tagmap;
+
+pub use parse::{parse, serialize, ParseError};
+pub use tagmap::{EventMeaning, TagEntry, TagFile, TagFileError, TagKind};
+
+#[cfg(test)]
+mod proptests;

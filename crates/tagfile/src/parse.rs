@@ -1,0 +1,162 @@
+//! Text format: `name/tag` with optional trailing `!` or `=` modifier,
+//! one entry per line, `#` comments and blank lines ignored.
+
+use std::fmt;
+
+use crate::tagmap::{TagEntry, TagFile, TagFileError, TagKind};
+
+/// Errors from the textual format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line without the `name/tag` shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The tag value is not a decimal within 0..=65535.
+    BadTag {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value text.
+        value: String,
+    },
+    /// The assembled file violates a map invariant.
+    Invalid(TagFileError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed { line, text } => {
+                write!(f, "line {line}: malformed entry {text:?}")
+            }
+            ParseError::BadTag { line, value } => {
+                write!(f, "line {line}: bad tag value {value:?}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid tag file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TagFileError> for ParseError {
+    fn from(e: TagFileError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Parses the textual name/tag format into a validated [`TagFile`].
+///
+/// # Examples
+///
+/// ```
+/// let text = "main/502\nswtch/600!\nMGET/1002=\n";
+/// let tf = hwprof_tagfile::parse(text).unwrap();
+/// assert_eq!(tf.tag_of("swtch"), Some(600));
+/// ```
+pub fn parse(text: &str) -> Result<TagFile, ParseError> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let (name, rest) = s.rsplit_once('/').ok_or_else(|| ParseError::Malformed {
+            line,
+            text: s.to_string(),
+        })?;
+        if name.is_empty() {
+            return Err(ParseError::Malformed {
+                line,
+                text: s.to_string(),
+            });
+        }
+        let (value, kind) = match rest.as_bytes().last() {
+            Some(b'!') => (&rest[..rest.len() - 1], TagKind::ContextSwitch),
+            Some(b'=') => (&rest[..rest.len() - 1], TagKind::Inline),
+            _ => (rest, TagKind::Function),
+        };
+        let tag: u16 = value.parse().map_err(|_| ParseError::BadTag {
+            line,
+            value: value.to_string(),
+        })?;
+        entries.push(TagEntry {
+            name: name.to_string(),
+            tag,
+            kind,
+        });
+    }
+    Ok(TagFile::from_entries(entries)?)
+}
+
+/// Serializes a [`TagFile`] back to the textual format, in file order.
+pub fn serialize(tf: &TagFile) -> String {
+    let mut out = String::new();
+    for e in tf.entries() {
+        out.push_str(&e.name);
+        out.push('/');
+        out.push_str(&e.tag.to_string());
+        if let Some(m) = e.kind.modifier() {
+            out.push(m);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SAMPLE: &str = "\
+main/502
+hardclock/510
+gatherstats/512
+softclock/514
+timeout/516
+untimeout/518
+swtch/600!
+MGET/1002=
+";
+
+    #[test]
+    fn parses_the_papers_sample() {
+        let tf = parse(PAPER_SAMPLE).unwrap();
+        assert_eq!(tf.len(), 8);
+        assert_eq!(tf.tag_of("main"), Some(502));
+        assert_eq!(tf.entry_of("swtch").unwrap().kind, TagKind::ContextSwitch);
+        assert_eq!(tf.entry_of("MGET").unwrap().kind, TagKind::Inline);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let tf = parse(PAPER_SAMPLE).unwrap();
+        assert_eq!(serialize(&tf), PAPER_SAMPLE);
+    }
+
+    #[test]
+    fn comments_blanks_and_whitespace_tolerated() {
+        let tf = parse("# tags\n\n  main/502  \n").unwrap();
+        assert_eq!(tf.tag_of("main"), Some(502));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse("main/502\nnonsense\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+        let err = parse("f/99999\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadTag { line: 1, .. }));
+        let err = parse("/5\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn collision_surfaces_as_invalid() {
+        let err = parse("a/100\nb/101\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+}

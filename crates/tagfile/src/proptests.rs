@@ -1,0 +1,85 @@
+//! Property tests for the tag file invariants.
+
+use proptest::prelude::*;
+
+use crate::{parse, serialize, EventMeaning, TagFile, TagKind};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,14}"
+}
+
+proptest! {
+    /// Any set of auto-assigned names serializes and parses back to a map
+    /// that resolves every name to the same tag.
+    #[test]
+    fn serialize_parse_roundtrip(names in prop::collection::hash_set(name_strategy(), 1..40)) {
+        let mut tf = TagFile::new(500);
+        let mut want = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            let kind = match i % 3 {
+                0 => TagKind::Function,
+                1 => TagKind::ContextSwitch,
+                _ => TagKind::Inline,
+            };
+            let tag = tf.assign(n, kind).unwrap();
+            want.push((n.clone(), tag, kind));
+        }
+        let text = serialize(&tf);
+        let back = parse(&text).unwrap();
+        for (n, tag, kind) in want {
+            prop_assert_eq!(back.tag_of(&n), Some(tag));
+            prop_assert_eq!(back.entry_of(&n).unwrap().kind, kind);
+        }
+    }
+
+    /// Auto-assignment never produces colliding trigger values: every
+    /// claimed tag resolves to exactly one meaning.
+    #[test]
+    fn assigned_tags_never_collide(names in prop::collection::hash_set(name_strategy(), 1..60)) {
+        let mut tf = TagFile::new(0);
+        for (i, n) in names.iter().enumerate() {
+            let kind = if i % 4 == 3 { TagKind::Inline } else { TagKind::Function };
+            tf.assign(n, kind).unwrap();
+        }
+        // Each name's claimed values resolve back to that name.
+        for e in tf.entries() {
+            match tf.resolve(e.tag) {
+                EventMeaning::Entry(got) | EventMeaning::Inline(got) => {
+                    prop_assert_eq!(&got.name, &e.name);
+                }
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+            if e.kind.is_paired() {
+                match tf.resolve(e.tag + 1) {
+                    EventMeaning::Exit(got) => prop_assert_eq!(&got.name, &e.name),
+                    other => prop_assert!(false, "unexpected {:?}", other),
+                }
+            }
+        }
+    }
+
+    /// Re-assigning in any later session (simulated by a parse roundtrip)
+    /// keeps old tags and allocates fresh ones strictly above.
+    #[test]
+    fn reassignment_is_stable_and_monotonic(
+        first in prop::collection::hash_set(name_strategy(), 1..20),
+        second in prop::collection::hash_set(name_strategy(), 1..20),
+    ) {
+        let mut tf = TagFile::new(100);
+        let mut old = Vec::new();
+        for n in &first {
+            old.push((n.clone(), tf.assign(n, TagKind::Function).unwrap()));
+        }
+        let mut tf2 = parse(&serialize(&tf)).unwrap();
+        let high = old.iter().map(|&(_, t)| t).max().unwrap();
+        for (n, t) in &old {
+            prop_assert_eq!(tf2.assign(n, TagKind::Function).unwrap(), *t);
+        }
+        for n in &second {
+            let t = tf2.assign(n, TagKind::Function).unwrap();
+            if !first.contains(n) {
+                prop_assert!(t > high, "fresh tag {} not above {}", t, high);
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The in-memory tag map and its invariants.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// What kind of trigger point an entry names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagKind {
+    /// A normal function: entry at `tag`, exit at `tag + 1`.
+    Function,
+    /// A function that causes a processor context switch (`!`): the
+    /// analysing software treats the interval between its entry and the
+    /// next exit of any such function as a scheduling boundary.
+    ContextSwitch,
+    /// An inline trigger (`=`): a single point event inside a function,
+    /// occupying only `tag` itself.
+    Inline,
+}
+
+impl TagKind {
+    /// The modifier character appended in the file, if any.
+    pub fn modifier(self) -> Option<char> {
+        match self {
+            TagKind::Function => None,
+            TagKind::ContextSwitch => Some('!'),
+            TagKind::Inline => Some('='),
+        }
+    }
+
+    /// True if the entry pairs an exit tag at `tag + 1`.
+    pub fn is_paired(self) -> bool {
+        !matches!(self, TagKind::Inline)
+    }
+}
+
+/// One line of the name/tag file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagEntry {
+    /// Function (or inline point) name.
+    pub name: String,
+    /// The trigger value; for paired kinds the exit is `tag + 1`.
+    pub tag: u16,
+    /// Kind, from the modifier character.
+    pub kind: TagKind,
+}
+
+/// Errors violating the tag file invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagFileError {
+    /// The same name appears with two different tags.
+    DuplicateName(String),
+    /// Two entries claim the same trigger value (directly or via a paired
+    /// exit tag).
+    TagCollision {
+        /// The colliding trigger value.
+        tag: u16,
+        /// First claimant.
+        a: String,
+        /// Second claimant.
+        b: String,
+    },
+    /// A paired (function) entry has an odd tag; the compiler always
+    /// assigns even values so that `tag + 1` is the exit.
+    OddFunctionTag(String, u16),
+    /// A paired entry at 0xFFFF would wrap its exit tag.
+    ExitOverflow(String),
+    /// The tag space (65536 values) is exhausted.
+    TagSpaceExhausted,
+}
+
+impl fmt::Display for TagFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagFileError::DuplicateName(n) => write!(f, "duplicate name {n}"),
+            TagFileError::TagCollision { tag, a, b } => {
+                write!(f, "tag {tag} claimed by both {a} and {b}")
+            }
+            TagFileError::OddFunctionTag(n, t) => {
+                write!(f, "function {n} has odd tag {t}")
+            }
+            TagFileError::ExitOverflow(n) => {
+                write!(f, "function {n} at 0xFFFF has no exit tag")
+            }
+            TagFileError::TagSpaceExhausted => write!(f, "no tags left"),
+        }
+    }
+}
+
+impl std::error::Error for TagFileError {}
+
+/// What a raw 16-bit event tag from the Profiler means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventMeaning<'a> {
+    /// Entry into the named function.
+    Entry(&'a TagEntry),
+    /// Exit from the named function.
+    Exit(&'a TagEntry),
+    /// An inline point inside some function.
+    Inline(&'a TagEntry),
+    /// No entry claims this value (uninstrumented or corrupt data).
+    Unknown,
+}
+
+/// A complete, validated name/tag map.
+///
+/// # Examples
+///
+/// ```
+/// use hwprof_tagfile::{TagFile, TagKind, EventMeaning};
+///
+/// let mut tf = TagFile::new(500);
+/// let main = tf.assign("main", TagKind::Function).unwrap();
+/// assert_eq!(main, 502); // first free even value above the dummy base
+/// let swtch = tf.assign("swtch", TagKind::ContextSwitch).unwrap();
+/// match tf.resolve(main + 1) {
+///     EventMeaning::Exit(e) => assert_eq!(e.name, "main"),
+///     _ => panic!("expected exit"),
+/// }
+/// assert!(matches!(tf.resolve(swtch), EventMeaning::Entry(_)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TagFile {
+    entries: Vec<TagEntry>,
+    by_name: HashMap<String, usize>,
+    by_tag: HashMap<u16, usize>,
+    base: u16,
+}
+
+/// Name of the dummy entry that seeds the starting tag number.
+pub const DUMMY: &str = "__base";
+
+impl TagFile {
+    /// A fresh file whose "initial dummy entry" sets the starting tag.
+    pub fn new(base: u16) -> Self {
+        let mut tf = TagFile {
+            entries: Vec::new(),
+            by_name: HashMap::new(),
+            by_tag: HashMap::new(),
+            base,
+        };
+        // The dummy is a real line in the file so serialization preserves
+        // the starting number; it is inline so it claims only one value.
+        tf.insert(TagEntry {
+            name: DUMMY.to_string(),
+            tag: base,
+            kind: TagKind::Inline,
+        })
+        .expect("empty file cannot collide");
+        tf
+    }
+
+    /// Builds a map from parsed entries, validating all invariants.
+    pub fn from_entries(entries: Vec<TagEntry>) -> Result<Self, TagFileError> {
+        let mut tf = TagFile {
+            entries: Vec::new(),
+            by_name: HashMap::new(),
+            by_tag: HashMap::new(),
+            base: 0,
+        };
+        for e in entries {
+            tf.insert(e)?;
+        }
+        Ok(tf)
+    }
+
+    /// Inserts one entry, enforcing name uniqueness, tag-space
+    /// disjointness and even function tags.
+    pub fn insert(&mut self, e: TagEntry) -> Result<u16, TagFileError> {
+        if let Some(&i) = self.by_name.get(&e.name) {
+            if self.entries[i].tag == e.tag && self.entries[i].kind == e.kind {
+                // Concatenated files may repeat identical lines.
+                return Ok(e.tag);
+            }
+            return Err(TagFileError::DuplicateName(e.name));
+        }
+        if e.kind.is_paired() {
+            if !e.tag.is_multiple_of(2) {
+                return Err(TagFileError::OddFunctionTag(e.name, e.tag));
+            }
+            if e.tag == u16::MAX {
+                return Err(TagFileError::ExitOverflow(e.name));
+            }
+        }
+        let claimed: &[u16] = if e.kind.is_paired() {
+            &[e.tag, e.tag + 1]
+        } else {
+            &[e.tag]
+        };
+        for &t in claimed {
+            if let Some(&i) = self.by_tag.get(&t) {
+                return Err(TagFileError::TagCollision {
+                    tag: t,
+                    a: self.entries[i].name.clone(),
+                    b: e.name,
+                });
+            }
+        }
+        let idx = self.entries.len();
+        for &t in claimed {
+            self.by_tag.insert(t, idx);
+        }
+        self.by_name.insert(e.name.clone(), idx);
+        let tag = e.tag;
+        self.entries.push(e);
+        Ok(tag)
+    }
+
+    /// Looks up a name; returns the existing tag if present, otherwise
+    /// assigns "the next available value (i.e the next value higher than
+    /// the current highest in the file)", rounded up to even for paired
+    /// kinds, and extends the file.
+    pub fn assign(&mut self, name: &str, kind: TagKind) -> Result<u16, TagFileError> {
+        if let Some(&i) = self.by_name.get(name) {
+            return Ok(self.entries[i].tag);
+        }
+        let highest = self
+            .entries
+            .iter()
+            .map(|e| if e.kind.is_paired() { e.tag + 1 } else { e.tag })
+            .max()
+            .unwrap_or(self.base);
+        let mut next = highest
+            .checked_add(1)
+            .ok_or(TagFileError::TagSpaceExhausted)?;
+        if kind.is_paired() && next % 2 != 0 {
+            next = next.checked_add(1).ok_or(TagFileError::TagSpaceExhausted)?;
+        }
+        if kind.is_paired() && next == u16::MAX {
+            return Err(TagFileError::TagSpaceExhausted);
+        }
+        self.insert(TagEntry {
+            name: name.to_string(),
+            tag: next,
+            kind,
+        })
+    }
+
+    /// Resolves a raw hardware tag value.
+    pub fn resolve(&self, tag: u16) -> EventMeaning<'_> {
+        match self.by_tag.get(&tag) {
+            Some(&i) => {
+                let e = &self.entries[i];
+                match e.kind {
+                    TagKind::Inline => EventMeaning::Inline(e),
+                    _ if e.tag == tag => EventMeaning::Entry(e),
+                    _ => EventMeaning::Exit(e),
+                }
+            }
+            None => EventMeaning::Unknown,
+        }
+    }
+
+    /// Entry tag of `name`, if present.
+    pub fn tag_of(&self, name: &str) -> Option<u16> {
+        self.by_name.get(name).map(|&i| self.entries[i].tag)
+    }
+
+    /// Entry metadata of `name`, if present.
+    pub fn entry_of(&self, name: &str) -> Option<&TagEntry> {
+        self.by_name.get(name).map(|&i| &self.entries[i])
+    }
+
+    /// All entries in file order.
+    pub fn entries(&self) -> &[TagEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (including any dummy).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the file has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Concatenates another file into this one ("multiple name/tag files
+    /// may exist, and may be concatenated").  Identical repeated lines are
+    /// tolerated; conflicting ones error.
+    pub fn concat(&mut self, other: &TagFile) -> Result<(), TagFileError> {
+        for e in &other.entries {
+            if e.name == DUMMY {
+                continue;
+            }
+            self.insert(e.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_resolves() {
+        let mut tf = TagFile::default();
+        for (n, t, k) in [
+            ("main", 502, TagKind::Function),
+            ("hardclock", 510, TagKind::Function),
+            ("swtch", 600, TagKind::ContextSwitch),
+            ("MGET", 1002, TagKind::Inline),
+        ] {
+            tf.insert(TagEntry {
+                name: n.into(),
+                tag: t,
+                kind: k,
+            })
+            .unwrap();
+        }
+        assert!(matches!(tf.resolve(502), EventMeaning::Entry(e) if e.name == "main"));
+        assert!(matches!(tf.resolve(503), EventMeaning::Exit(e) if e.name == "main"));
+        assert!(
+            matches!(tf.resolve(600), EventMeaning::Entry(e) if e.kind == TagKind::ContextSwitch)
+        );
+        assert!(matches!(tf.resolve(1002), EventMeaning::Inline(_)));
+        assert!(matches!(tf.resolve(1003), EventMeaning::Unknown));
+        assert!(matches!(tf.resolve(9999), EventMeaning::Unknown));
+    }
+
+    #[test]
+    fn assign_is_stable_across_recompiles() {
+        let mut tf = TagFile::new(500);
+        let a = tf.assign("foo", TagKind::Function).unwrap();
+        let b = tf.assign("bar", TagKind::Function).unwrap();
+        // Recompilation asks again and must get the same values.
+        assert_eq!(tf.assign("foo", TagKind::Function).unwrap(), a);
+        assert_eq!(tf.assign("bar", TagKind::Function).unwrap(), b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assign_allocates_monotonically_above_highest() {
+        let mut tf = TagFile::new(500);
+        let a = tf.assign("f1", TagKind::Function).unwrap();
+        assert_eq!(a, 502);
+        let b = tf.assign("f2", TagKind::Function).unwrap();
+        assert_eq!(b, 504);
+        // A manual inline entry at a high value pushes allocation past it.
+        tf.insert(TagEntry {
+            name: "MARK".into(),
+            tag: 1002,
+            kind: TagKind::Inline,
+        })
+        .unwrap();
+        let c = tf.assign("f3", TagKind::Function).unwrap();
+        assert_eq!(c, 1004);
+    }
+
+    #[test]
+    fn collisions_are_rejected() {
+        let mut tf = TagFile::default();
+        tf.insert(TagEntry {
+            name: "a".into(),
+            tag: 100,
+            kind: TagKind::Function,
+        })
+        .unwrap();
+        // Inline tag landing on a's exit tag collides.
+        let err = tf
+            .insert(TagEntry {
+                name: "mark".into(),
+                tag: 101,
+                kind: TagKind::Inline,
+            })
+            .unwrap_err();
+        assert!(matches!(err, TagFileError::TagCollision { tag: 101, .. }));
+        // Same name, different tag.
+        let err = tf
+            .insert(TagEntry {
+                name: "a".into(),
+                tag: 200,
+                kind: TagKind::Function,
+            })
+            .unwrap_err();
+        assert!(matches!(err, TagFileError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn odd_function_tags_are_rejected() {
+        let mut tf = TagFile::default();
+        let err = tf
+            .insert(TagEntry {
+                name: "f".into(),
+                tag: 7,
+                kind: TagKind::Function,
+            })
+            .unwrap_err();
+        assert!(matches!(err, TagFileError::OddFunctionTag(_, 7)));
+    }
+
+    #[test]
+    fn concat_merges_and_detects_conflicts() {
+        let mut kernel = TagFile::new(500);
+        kernel.assign("bcopy", TagKind::Function).unwrap();
+        let mut netmod = TagFile::new(1000);
+        netmod.assign("ipintr", TagKind::Function).unwrap();
+        kernel.concat(&netmod).unwrap();
+        assert!(kernel.tag_of("ipintr").is_some());
+        // A conflicting second file.
+        let mut bad = TagFile::default();
+        bad.insert(TagEntry {
+            name: "bcopy".into(),
+            tag: 9000,
+            kind: TagKind::Function,
+        })
+        .unwrap();
+        assert!(kernel.concat(&bad).is_err());
+    }
+
+    #[test]
+    fn identical_repeated_lines_tolerated() {
+        let mut tf = TagFile::default();
+        let e = TagEntry {
+            name: "x".into(),
+            tag: 10,
+            kind: TagKind::Function,
+        };
+        tf.insert(e.clone()).unwrap();
+        assert_eq!(tf.insert(e).unwrap(), 10);
+        assert_eq!(tf.len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Hunt the fork/exec bottleneck (the paper's Figure 5 study): profile
+//! only the VM and pmap modules while a shell forks and execs.
+//!
+//! ```text
+//! cargo run --example forkexec_hunt
+//! ```
+
+use hwprof::analysis::graph::to_dot;
+use hwprof::analysis::hist::{histogram, render};
+use hwprof::analysis::summary_report;
+use hwprof::profiler::BoardConfig;
+use hwprof::{scenarios, Experiment};
+
+fn main() {
+    let capture = Experiment::new()
+        .profile_modules(&["vm", "kern", "sys", "locore"])
+        .board(BoardConfig::wide())
+        .scenario(scenarios::forkexec_loop(4))
+        .run();
+    let r = capture.analyze();
+    println!("{}", summary_report(&r, Some(12)));
+
+    // The smoking gun: pmap_pte call count per fork.
+    let pte = r.agg("pmap_pte").unwrap_or_default();
+    let forks = r.agg("fork1").map_or(1, |a| a.calls.max(1));
+    println!(
+        "pmap_pte: {} calls total, ~{} per fork (paper: ~1053)\n",
+        pte.calls,
+        pte.calls / (forks * 3) // fork + exec + exit walks per cycle
+    );
+
+    // Distribution of pmap_remove costs: small unmappings vs whole-image
+    // teardowns.
+    if let Some(h) = histogram(&r, "pmap_remove", 16_384) {
+        println!("{}", render(&h, 40));
+    }
+
+    // Call-graph export for the graphical future-work item.
+    let dot = to_dot(&r);
+    println!(
+        "Call graph: {} lines of dot (pipe to `dot -Tsvg`)",
+        dot.lines().count()
+    );
+}

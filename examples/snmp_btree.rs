@@ -1,0 +1,30 @@
+//! The 68020 case study: an SNMP agent's MIB search, linear table vs
+//! B-tree, measured end to end on the simulated embedded board.
+//!
+//! ```text
+//! cargo run --example snmp_btree
+//! ```
+
+use hwprof::snmpmib::agent::{cpu_us_per_request, populate};
+use hwprof::snmpmib::{BtreeMib, LinearMib};
+
+fn main() {
+    for size in [100u32, 500, 2000] {
+        let mut lin = LinearMib::new();
+        populate(&mut lin, size);
+        let mut bt = BtreeMib::new();
+        populate(&mut bt, size);
+        let lin_us = cpu_us_per_request(Box::new(lin), 50);
+        let bt_us = cpu_us_per_request(Box::new(bt), 50);
+        println!(
+            "MIB {size:>5} objects: linear {lin_us:>6} us/request, \
+             B-tree {bt_us:>5} us/request  ({:.1}x)",
+            lin_us as f64 / bt_us as f64
+        );
+    }
+    println!(
+        "\nThe paper: \"redesigning the data structure to use a B-tree \
+         [...] reduced the CPU cycles required to respond to SNMP \
+         requests by an order of magnitude.\""
+    );
+}

@@ -1,0 +1,89 @@
+//! User-level profiling through the `/dev/profiler` driver stub: a
+//! process mmaps the board's EPROM window and fires its own triggers,
+//! which land in the same capture RAM as the kernel's — "There is no
+//! reason why a mixture of kernel and user level profiling cannot take
+//! place concurrently."
+//!
+//! ```text
+//! cargo run --example userland_profiling
+//! ```
+
+use hwprof::analysis::{analyze, decode, summary_report};
+use hwprof::experiment::Scenario;
+use hwprof::kernel386::kern_exec::ExecImage;
+use hwprof::kernel386::profdev::{profmmap, profopen, user_trigger};
+use hwprof::kernel386::syscall::{sys_execve, sys_sleep};
+use hwprof::kernel386::user::ucompute;
+use hwprof::tagfile::{TagEntry, TagFile, TagKind};
+use hwprof::{Capture, Experiment};
+
+// The application's own tag assignments, kept in a second name/tag file
+// well above the kernel's range.
+const APP_MAIN: u16 = 60_000;
+const APP_CRUNCH: u16 = 60_002;
+
+fn app_tagfile() -> TagFile {
+    let mut tf = TagFile::new(59_998);
+    for (name, tag) in [("app_main", APP_MAIN), ("app_crunch", APP_CRUNCH)] {
+        tf.insert(TagEntry {
+            name: name.into(),
+            tag,
+            kind: TagKind::Function,
+        })
+        .expect("disjoint tag range");
+    }
+    tf
+}
+
+fn main() {
+    let scenario = Scenario {
+        host: None,
+        disk: false,
+        spawn: Box::new(|sim| {
+            sim.spawn(
+                "app",
+                Box::new(|ctx| {
+                    // The profiling crt0: exec an image, open the driver,
+                    // map the window.
+                    sys_execve(ctx, &ExecImage::small_util());
+                    let _fd = profopen(ctx);
+                    let base = profmmap(ctx);
+                    assert_ne!(base, 0);
+                    // Application code with explicit triggers.
+                    user_trigger(ctx, APP_MAIN);
+                    for _ in 0..5 {
+                        user_trigger(ctx, APP_CRUNCH);
+                        ucompute(ctx, 1_500);
+                        user_trigger(ctx, APP_CRUNCH + 1);
+                        sys_sleep(ctx, 1); // kernel events interleave
+                    }
+                    user_trigger(ctx, APP_MAIN + 1);
+                }),
+            );
+        }),
+    };
+    let capture = Experiment::new()
+        .profile_modules(&["kern", "sys", "dev", "locore"])
+        .scenario(scenario)
+        .run();
+
+    // Concatenate the kernel's name/tag file with the application's —
+    // "Multiple name/tag files may exist, and may be concatenated".
+    let mut merged = capture.tagfile.clone();
+    merged.concat(&app_tagfile()).expect("disjoint ranges");
+    let (syms, events) = decode(&capture.records, &merged);
+    let r = analyze(&syms, &events);
+
+    println!("{}", summary_report(&r, Some(12)));
+    let crunch = r.agg("app_crunch").expect("app function profiled");
+    println!(
+        "app_crunch: {} calls, {} us net — user time measured by the \
+         same board that profiled hardclock ({} calls)",
+        crunch.calls,
+        crunch.net,
+        r.agg("hardclock").unwrap_or_default().calls
+    );
+    assert_eq!(crunch.calls, 5);
+    assert!(crunch.net >= 5 * 1_400);
+    drop(Capture::analyze_concatenated(&[&capture])); // API smoke
+}
