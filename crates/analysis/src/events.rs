@@ -7,7 +7,7 @@ use hwprof_tagfile::{TagFile, TagKind};
 pub type SymId = u32;
 
 /// The symbol table: one entry per tag-file name.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Symbols {
     names: Vec<String>,
     cswitch: Vec<bool>,
@@ -75,26 +75,111 @@ pub struct Event {
     pub kind: EvKind,
 }
 
-/// Unwraps the 24-bit hardware timestamps into absolute microseconds.
+/// Incremental 24-bit time unwrap: feeds on raw counter values one at
+/// a time, carrying the running absolute time across chunk boundaries.
 ///
 /// "the analysis software only uses the timer value as an interval time,
 /// not as an absolute time" — each consecutive delta is taken modulo
 /// 2^24, so any gap under ~16.8 s is exact and information is lost (the
-/// paper's stated limit) only beyond that.
-pub fn unwrap_times(records: &[RawRecord]) -> Vec<u64> {
-    let mut out = Vec::with_capacity(records.len());
-    let mut abs = 0u64;
-    let mut prev: Option<u32> = None;
-    for r in records {
-        let t = r.time & TIME_MASK;
-        if let Some(p) = prev {
-            let delta = (t.wrapping_sub(p)) & TIME_MASK;
-            abs += u64::from(delta);
-        }
-        prev = Some(t);
-        out.push(abs);
+/// paper's stated limit) only beyond that.  Batch [`unwrap_times`] is
+/// one unwrapper run over a whole slice, so chunked and batch decoding
+/// agree for every split of the same stream.
+#[derive(Debug, Clone, Default)]
+pub struct TimeUnwrapper {
+    abs: u64,
+    prev: Option<u32>,
+}
+
+impl TimeUnwrapper {
+    /// A fresh unwrapper (next value becomes the session origin).
+    pub fn new() -> Self {
+        Self::default()
     }
-    out
+
+    /// Feeds the next raw 24-bit counter value; returns the absolute
+    /// microsecond time relative to the first value fed.
+    pub fn push(&mut self, raw_time: u32) -> u64 {
+        let t = raw_time & TIME_MASK;
+        if let Some(p) = self.prev {
+            let delta = t.wrapping_sub(p) & TIME_MASK;
+            self.abs += u64::from(delta);
+        }
+        self.prev = Some(t);
+        self.abs
+    }
+}
+
+/// Unwraps the 24-bit hardware timestamps into absolute microseconds.
+pub fn unwrap_times(records: &[RawRecord]) -> Vec<u64> {
+    let mut unwrapper = TimeUnwrapper::new();
+    records.iter().map(|r| unwrapper.push(r.time)).collect()
+}
+
+/// The tag → meaning table, precomputed from the name file once and
+/// shared by every decoder (captures run to 10^5+ events; resolving
+/// each against the file would be quadratic).
+#[derive(Debug, Clone, Default)]
+pub struct TagMap {
+    map: std::collections::HashMap<u16, EvKind>,
+}
+
+impl TagMap {
+    /// Builds the map from a tag file.
+    pub fn from_tagfile(tf: &TagFile) -> Self {
+        let mut map = std::collections::HashMap::new();
+        for (i, e) in tf.entries().iter().enumerate() {
+            let sym = i as SymId;
+            match e.kind {
+                TagKind::Inline => {
+                    map.insert(e.tag, EvKind::Inline(sym));
+                }
+                TagKind::Function | TagKind::ContextSwitch => {
+                    map.insert(e.tag, EvKind::Entry(sym));
+                    map.insert(e.tag + 1, EvKind::Exit(sym));
+                }
+            }
+        }
+        TagMap { map }
+    }
+
+    /// The meaning of one hardware tag.
+    pub fn classify(&self, tag: u16) -> EvKind {
+        self.map.get(&tag).copied().unwrap_or(EvKind::Unknown(tag))
+    }
+}
+
+/// Incremental decoder for one capture session: classifies tags and
+/// unwraps times record by record, so a session can be decoded in
+/// arbitrary chunks (the streaming upload path) with output identical
+/// to batch [`decode`].
+#[derive(Debug, Clone)]
+pub struct SessionDecoder<'a> {
+    map: &'a TagMap,
+    unwrapper: TimeUnwrapper,
+}
+
+impl<'a> SessionDecoder<'a> {
+    /// Starts a fresh session against a prebuilt tag map.
+    pub fn new(map: &'a TagMap) -> Self {
+        SessionDecoder {
+            map,
+            unwrapper: TimeUnwrapper::new(),
+        }
+    }
+
+    /// Decodes the next record.
+    pub fn push(&mut self, record: &RawRecord) -> Event {
+        Event {
+            t: self.unwrapper.push(record.time),
+            kind: self.map.classify(record.tag),
+        }
+    }
+
+    /// Decodes the next chunk of records, appending to `out`.
+    pub fn extend(&mut self, records: &[RawRecord], out: &mut Vec<Event>) {
+        out.reserve(records.len());
+        out.extend(records.iter().map(|r| self.push(r)));
+    }
 }
 
 /// Decodes a capture session against the name/tag file.
@@ -104,30 +189,10 @@ pub fn unwrap_times(records: &[RawRecord]) -> Vec<u64> {
 /// take no part in reconstruction.
 pub fn decode(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>) {
     let syms = Symbols::from_tagfile(tf);
-    // Precompute the tag -> meaning map once (captures run to 10^5+
-    // events; resolving each against the file would be quadratic).
-    let mut map: std::collections::HashMap<u16, EvKind> = std::collections::HashMap::new();
-    for (i, e) in tf.entries().iter().enumerate() {
-        let sym = i as SymId;
-        match e.kind {
-            TagKind::Inline => {
-                map.insert(e.tag, EvKind::Inline(sym));
-            }
-            TagKind::Function | TagKind::ContextSwitch => {
-                map.insert(e.tag, EvKind::Entry(sym));
-                map.insert(e.tag + 1, EvKind::Exit(sym));
-            }
-        }
-    }
-    let times = unwrap_times(records);
-    let events = records
-        .iter()
-        .zip(times)
-        .map(|(r, t)| Event {
-            t,
-            kind: map.get(&r.tag).copied().unwrap_or(EvKind::Unknown(r.tag)),
-        })
-        .collect();
+    let map = TagMap::from_tagfile(tf);
+    let mut decoder = SessionDecoder::new(&map);
+    let mut events = Vec::new();
+    decoder.extend(records, &mut events);
     (syms, events)
 }
 

@@ -26,10 +26,17 @@ pub mod hist;
 mod proptests;
 pub mod recon;
 pub mod report;
+pub mod stream;
 pub mod trace;
 pub mod whatif;
 
-pub use events::{decode, unwrap_times, EvKind, Event, SymId, Symbols};
-pub use recon::{analyze, analyze_sessions, FnAgg, Reconstruction};
+pub use events::{
+    decode, unwrap_times, EvKind, Event, SessionDecoder, SymId, Symbols, TagMap, TimeUnwrapper,
+};
+pub use recon::{
+    analyze, analyze_iter, analyze_parallel, analyze_sessions, reconstruct_session, FnAgg,
+    Reconstruction,
+};
 pub use report::summary_report;
+pub use stream::{BankFeed, RecordStream, StreamAnalyzer};
 pub use trace::{trace_report, TraceStyle};

@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 
-use crate::events::{decode, EvKind};
-use crate::recon::analyze;
-use hwprof_profiler::RawRecord;
+use crate::events::{decode, EvKind, Event, SessionDecoder, Symbols, TagMap};
+use crate::recon::{analyze, analyze_parallel, analyze_sessions};
+use crate::stream::{RecordStream, StreamAnalyzer};
+use hwprof_profiler::{parse_raw, serialize_raw, BankSink, RawRecord};
 use hwprof_tagfile::{TagFile, TagKind};
 
 /// Generates a structurally valid single-thread capture: random nesting
@@ -134,5 +135,163 @@ proptest! {
             .count() as u64;
         let calls: u64 = r.stats.iter().map(|a| a.calls).sum();
         prop_assert_eq!(calls + r.open_at_end, entries);
+    }
+}
+
+/// Generates a completely unstructured capture: entries, exits, `swtch`
+/// entries/exits, inline marks and unknown tags in any order, with
+/// inter-event gaps big enough to cross 24-bit counter wraps.  The
+/// analyzer must produce *some* deterministic answer for all of it, and
+/// every incremental/parallel path must produce the same one.
+fn arbitrary_stream(ops: &[(u8, u32)]) -> (TagFile, Vec<RawRecord>) {
+    let mut tf = TagFile::new(100);
+    let fns: Vec<u16> = (0..5)
+        .map(|i| {
+            tf.assign(&format!("f{i}"), TagKind::Function)
+                .expect("fresh")
+        })
+        .collect();
+    let swtch = tf.assign("swtch", TagKind::ContextSwitch).expect("fresh");
+    let mark = tf.assign("MARK", TagKind::Inline).expect("fresh");
+    let mut records = Vec::new();
+    let mut t = 0u64;
+    for &(sel, dt) in ops {
+        t += u64::from(dt);
+        let tag = match sel % 16 {
+            0..=5 => fns[usize::from(sel) % fns.len()],
+            6..=11 => fns[usize::from(sel) % fns.len()] + 1,
+            12 => swtch,
+            13 => swtch + 1,
+            14 => mark,
+            _ => 60_000 + u16::from(sel),
+        };
+        records.push(RawRecord::latch(tag, t));
+    }
+    (tf, records)
+}
+
+/// Splits `records` at arbitrary cut points into consecutive sessions
+/// and decodes each with a fresh time origin, exactly as the streaming
+/// pipeline treats drained banks.
+fn cut_sessions(records: &[RawRecord], map: &TagMap, cuts: &[usize]) -> Vec<Vec<Event>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (records.len() + 1)).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut sessions = Vec::new();
+    let mut prev = 0;
+    for p in bounds.into_iter().chain([records.len()]) {
+        if p < prev {
+            continue;
+        }
+        let mut d = SessionDecoder::new(map);
+        let mut ev = Vec::new();
+        d.extend(&records[prev..p], &mut ev);
+        sessions.push(ev);
+        prev = p;
+    }
+    sessions
+}
+
+proptest! {
+    /// Feeding the upload byte stream through [`RecordStream`] in any
+    /// chunking — including splits inside a 5-byte record — yields
+    /// exactly the batch [`parse_raw`] result.
+    #[test]
+    fn chunked_byte_decode_matches_batch(
+        ops in prop::collection::vec((0u8..=255, 0u32..150_000), 1..200),
+        cuts in prop::collection::vec(0usize..1000, 0..8),
+    ) {
+        let (_, records) = arbitrary_stream(&ops);
+        let bytes = serialize_raw(&records);
+        let mut positions: Vec<usize> =
+            cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+        positions.sort_unstable();
+        let mut stream = RecordStream::new();
+        let mut out = Vec::new();
+        let mut prev = 0;
+        for p in positions {
+            stream.push(&bytes[prev..p], &mut out);
+            prev = p;
+        }
+        stream.push(&bytes[prev..], &mut out);
+        prop_assert!(stream.finish().is_ok());
+        prop_assert_eq!(out, parse_raw(&bytes).expect("round multiple of 5"));
+    }
+
+    /// Decoding a session record-chunk by record-chunk (incremental
+    /// 24-bit unwrap carried across chunks) equals batch [`decode`].
+    #[test]
+    fn chunked_session_decode_matches_batch(
+        ops in prop::collection::vec((0u8..=255, 0u32..150_000), 1..200),
+        cuts in prop::collection::vec(0usize..1000, 0..8),
+    ) {
+        let (tf, records) = arbitrary_stream(&ops);
+        let map = TagMap::from_tagfile(&tf);
+        let mut positions: Vec<usize> =
+            cuts.iter().map(|c| c % (records.len() + 1)).collect();
+        positions.sort_unstable();
+        let mut d = SessionDecoder::new(&map);
+        let mut chunked = Vec::new();
+        let mut prev = 0;
+        for p in positions {
+            d.extend(&records[prev..p], &mut chunked);
+            prev = p;
+        }
+        d.extend(&records[prev..], &mut chunked);
+        let (_, batch) = decode(&records, &tf);
+        prop_assert_eq!(chunked, batch);
+    }
+
+    /// The tentpole invariant: splitting any event stream into sessions
+    /// and merging per-session reconstructions across any number of
+    /// workers is *bit-identical* to the sequential batch analysis —
+    /// through counter wraps, context switches, unknown tags and
+    /// unbalanced entries/exits.
+    #[test]
+    fn parallel_analysis_is_bit_identical(
+        ops in prop::collection::vec((0u8..=255, 0u32..150_000), 1..250),
+        cuts in prop::collection::vec(0usize..1000, 0..6),
+        workers in 1usize..8,
+    ) {
+        let (tf, records) = arbitrary_stream(&ops);
+        let map = TagMap::from_tagfile(&tf);
+        let syms = Symbols::from_tagfile(&tf);
+        let sessions = cut_sessions(&records, &map, &cuts);
+        let batch = analyze_sessions(&syms, &sessions);
+        let parallel = analyze_parallel(&syms, &sessions, workers);
+        prop_assert_eq!(parallel, batch);
+    }
+
+    /// End to end through the worker pool: banks pushed through a
+    /// [`StreamAnalyzer`] feed reproduce the batch multi-session answer
+    /// exactly, for any bank split and worker count.
+    #[test]
+    fn stream_pipeline_is_bit_identical(
+        ops in prop::collection::vec((0u8..=255, 0u32..150_000), 1..150),
+        cuts in prop::collection::vec(0usize..1000, 0..5),
+        workers in 1usize..5,
+    ) {
+        let (tf, records) = arbitrary_stream(&ops);
+        let map = TagMap::from_tagfile(&tf);
+        let syms = Symbols::from_tagfile(&tf);
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|c| c % (records.len() + 1)).collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let analyzer = StreamAnalyzer::new(&tf, workers);
+        let mut feed = analyzer.feed();
+        let mut prev = 0;
+        for p in bounds.into_iter().chain([records.len()]) {
+            if p < prev {
+                continue;
+            }
+            prop_assert!(feed.bank(records[prev..p].to_vec()));
+            prev = p;
+        }
+        drop(feed);
+        let streamed = analyzer.finish();
+        let sessions = cut_sessions(&records, &map, &cuts);
+        let batch = analyze_sessions(&syms, &sessions);
+        prop_assert_eq!(streamed, batch);
     }
 }

@@ -13,7 +13,7 @@
 use crate::events::{EvKind, Event, SymId, Symbols};
 
 /// Aggregate statistics for one function.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FnAgg {
     /// Completed entry/exit pairs.
     pub calls: u64,
@@ -29,8 +29,29 @@ pub struct FnAgg {
     pub min_net: u64,
 }
 
+impl FnAgg {
+    /// Folds `other` into `self` (the monoid the streaming analyzer
+    /// merges chunk results with).  Merging per-session aggregates in
+    /// session order reproduces the sequential accumulation exactly:
+    /// every field is a sum, a max, or a min over completed calls.
+    pub fn merge(&mut self, other: &FnAgg) {
+        if other.calls > 0 {
+            self.min_net = if self.calls == 0 {
+                other.min_net
+            } else {
+                self.min_net.min(other.min_net)
+            };
+            self.max_net = self.max_net.max(other.max_net);
+        }
+        self.calls += other.calls;
+        self.inline_hits += other.inline_hits;
+        self.elapsed += other.elapsed;
+        self.net += other.net;
+    }
+}
+
 /// One rendered-trace element (the trace report works from these).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceItem {
     /// Event time (µs from session start).
     pub t: u64,
@@ -41,7 +62,7 @@ pub struct TraceItem {
 }
 
 /// Trace element kinds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ItemKind {
     /// A call; times are patched in when the frame closes.
     Call {
@@ -99,7 +120,13 @@ struct PStack {
 }
 
 /// The full result of reconstruction.
-#[derive(Debug)]
+///
+/// `Reconstruction` is a monoid: [`Reconstruction::empty`] is the
+/// identity and [`Reconstruction::merge`] combines per-session results
+/// in session order into exactly what one sequential pass over the
+/// concatenated sessions would produce.  That property is what lets
+/// the streaming analyzer fan sessions out across worker threads.
+#[derive(Debug, PartialEq)]
 pub struct Reconstruction {
     /// Symbol table used.
     pub syms: Symbols,
@@ -132,6 +159,54 @@ pub struct Reconstruction {
 }
 
 impl Reconstruction {
+    /// The merge identity: zero sessions analyzed against `syms`.
+    pub fn empty(syms: Symbols) -> Self {
+        let n = syms.len();
+        Reconstruction {
+            syms,
+            stats: vec![FnAgg::default(); n],
+            total_elapsed: 0,
+            idle: 0,
+            tags: 0,
+            context_switches: 0,
+            swtch_calls: 0,
+            unmatched_exits: 0,
+            unknown_tags: 0,
+            open_at_end: 0,
+            births: 0,
+            trace: Vec::new(),
+            edges: std::collections::HashMap::new(),
+            sessions: 0,
+        }
+    }
+
+    /// Folds `other` (the next sessions in order) into `self`.
+    ///
+    /// Every aggregate is a per-session sum/max/min and the trace is a
+    /// concatenation, so `empty ∘ merge` over per-session results is
+    /// bit-identical to one sequential pass: reconstruction state
+    /// (stacks, idle windows) never crosses a session boundary.
+    pub fn merge(&mut self, other: Reconstruction) {
+        debug_assert_eq!(self.syms.len(), other.syms.len(), "same tag file");
+        for (a, b) in self.stats.iter_mut().zip(&other.stats) {
+            a.merge(b);
+        }
+        self.total_elapsed += other.total_elapsed;
+        self.idle += other.idle;
+        self.tags += other.tags;
+        self.context_switches += other.context_switches;
+        self.swtch_calls += other.swtch_calls;
+        self.unmatched_exits += other.unmatched_exits;
+        self.unknown_tags += other.unknown_tags;
+        self.open_at_end += other.open_at_end;
+        self.births += other.births;
+        self.trace.extend(other.trace);
+        for (k, v) in other.edges {
+            *self.edges.entry(k).or_insert(0) += v;
+        }
+        self.sessions += other.sessions;
+    }
+
     /// Accumulated non-idle µs.
     pub fn run_time(&self) -> u64 {
         self.total_elapsed.saturating_sub(self.idle)
@@ -505,19 +580,86 @@ enum Choice {
     Birth,
 }
 
+/// Reconstructs a single capture session in isolation.
+///
+/// This is the unit of work the streaming analyzer hands to worker
+/// threads; per-session results combine with
+/// [`Reconstruction::merge`].
+pub fn reconstruct_session(syms: &Symbols, events: &[Event]) -> Reconstruction {
+    let mut r = Recon::new(syms.clone());
+    r.session(events);
+    r.finish()
+}
+
+/// The one entry point every analysis flavour goes through: an
+/// iterator of capture sessions, folded session by session.
+///
+/// [`analyze`] (one session), [`analyze_sessions`] (a slice of
+/// sessions) and the parallel paths ([`analyze_parallel`], the
+/// `stream` module) are all thin wrappers over this fold, so they
+/// agree by construction.
+pub fn analyze_iter<I>(syms: &Symbols, sessions: I) -> Reconstruction
+where
+    I: IntoIterator,
+    I::Item: AsRef<[Event]>,
+{
+    let mut out = Reconstruction::empty(syms.clone());
+    for s in sessions {
+        out.merge(reconstruct_session(syms, s.as_ref()));
+    }
+    out
+}
+
 /// Analyzes one capture session.
 pub fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
-    analyze_sessions(syms, std::slice::from_ref(&events.to_vec()))
+    analyze_iter(syms, [events])
 }
 
 /// Analyzes several concatenated capture sessions (the paper's Figure 3
 /// header shows 28060 tags — more than one 16384-event RAM's worth).
 pub fn analyze_sessions(syms: &Symbols, sessions: &[Vec<Event>]) -> Reconstruction {
-    let mut r = Recon::new(syms.clone());
-    for s in sessions {
-        r.session(s);
+    analyze_iter(syms, sessions)
+}
+
+/// Analyzes sessions fanned out across `workers` threads, merging the
+/// per-session results in session order.
+///
+/// Output is bit-identical to [`analyze_sessions`]: each session is
+/// reconstructed in isolation either way, and the merge is associative,
+/// so folding contiguous blocks per worker and then folding the block
+/// results in order equals the sequential fold — only the schedule
+/// differs.
+///
+/// Sessions are split into contiguous blocks (one per worker) rather
+/// than claimed one at a time: the trace concatenation is a large share
+/// of total analysis cost, and block-local folds parallelize it along
+/// with the reconstruction, leaving only `workers - 1` merges on the
+/// calling thread.
+pub fn analyze_parallel(syms: &Symbols, sessions: &[Vec<Event>], workers: usize) -> Reconstruction {
+    let workers = workers.max(1).min(sessions.len().max(1));
+    if workers <= 1 {
+        return analyze_iter(syms, sessions);
     }
-    r.finish()
+    let chunk = sessions.len().div_ceil(workers);
+    let parts: Vec<Reconstruction> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .chunks(chunk)
+            .map(|block| scope.spawn(move || analyze_iter(syms, block)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+    let mut out = Reconstruction::empty(syms.clone());
+    out.trace.reserve(parts.iter().map(|r| r.trace.len()).sum());
+    for r in parts {
+        out.merge(r);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,204 @@
+//! The streaming analysis pipeline: capture banks drained off the
+//! board while it stays armed are decoded and reconstructed on worker
+//! threads, concurrently with the run that produces them.
+//!
+//! The paper carried one battery-backed RAM at a time to the UNIX
+//! host; HMTT-style hybrid tracing shows the capture stream must be
+//! drained and processed online to scale past the RAM.  The pipeline
+//! here is exact, not approximate: each bank is one capture session,
+//! sessions are reconstructed in isolation
+//! ([`crate::recon::reconstruct_session`]) and merged in bank order
+//! with the [`crate::Reconstruction`] monoid, so the result is
+//! bit-identical to batch [`crate::analyze_sessions`] over the same
+//! banks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use hwprof_profiler::{BankSink, RawRecord, RecordError};
+use hwprof_tagfile::TagFile;
+
+use crate::events::{SessionDecoder, Symbols, TagMap};
+use crate::recon::{reconstruct_session, Reconstruction};
+
+/// An indexed bank in flight between the feed and a worker.
+type QueuedBank = (usize, Vec<RawRecord>);
+
+/// Incremental 5-byte record decode: accepts the upload byte stream in
+/// arbitrary chunks, carrying partial records across chunk boundaries.
+///
+/// Feeding any chunking of a byte stream yields exactly
+/// [`hwprof_profiler::parse_raw`] of the whole stream.
+#[derive(Debug, Default)]
+pub struct RecordStream {
+    pending: Vec<u8>,
+}
+
+impl RecordStream {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the next chunk of upload bytes, appending every completed
+    /// 5-byte record to `out`.
+    pub fn push(&mut self, bytes: &[u8], out: &mut Vec<RawRecord>) {
+        self.pending.extend_from_slice(bytes);
+        let complete = self.pending.len() - self.pending.len() % 5;
+        for c in self.pending[..complete].chunks_exact(5) {
+            out.push(RawRecord {
+                tag: u16::from_le_bytes([c[0], c[1]]),
+                time: u32::from_le_bytes([c[2], c[3], c[4], 0]),
+            });
+        }
+        self.pending.drain(..complete);
+    }
+
+    /// Ends the stream: trailing bytes that never completed a record
+    /// are a truncated upload.
+    pub fn finish(self) -> Result<(), RecordError> {
+        if self.pending.is_empty() {
+            Ok(())
+        } else {
+            Err(RecordError::TruncatedStream {
+                len: self.pending.len(),
+            })
+        }
+    }
+}
+
+/// Banks the feed queues ahead of the workers before refusing more.
+///
+/// A bank is at most half the board RAM (64 K events × 8 bytes on the
+/// wide board), so the default backlog bounds pipeline memory around
+/// 64 MiB while riding out analysis hiccups far longer than a real
+/// operator swapping RAMs could.
+pub const DEFAULT_BACKLOG: usize = 256;
+
+/// The board-facing end of the pipeline: assigns bank indices (bank
+/// order is session order) and queues banks for the workers.
+pub struct BankFeed {
+    next: usize,
+    tx: SyncSender<QueuedBank>,
+    queued: Arc<AtomicUsize>,
+}
+
+impl BankSink for BankFeed {
+    fn bank(&mut self, records: Vec<RawRecord>) -> bool {
+        match self.tx.try_send((self.next, records)) {
+            Ok(()) => {
+                self.next += 1;
+                self.queued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+}
+
+/// The analysis end of the pipeline: worker threads drain queued banks,
+/// decode each as one capture session and reconstruct it; [`finish`]
+/// merges the per-bank results in bank order.
+///
+/// [`finish`]: StreamAnalyzer::finish
+pub struct StreamAnalyzer {
+    tx: Option<SyncSender<QueuedBank>>,
+    workers: Vec<JoinHandle<Vec<(usize, Reconstruction)>>>,
+    syms: Symbols,
+    queued: Arc<AtomicUsize>,
+}
+
+impl StreamAnalyzer {
+    /// Spawns `workers` analysis threads against the build's tag file,
+    /// with the default bank backlog.
+    pub fn new(tf: &TagFile, workers: usize) -> Self {
+        Self::with_backlog(tf, workers, DEFAULT_BACKLOG)
+    }
+
+    /// Spawns `workers` analysis threads; at most `backlog` banks wait
+    /// in the queue before the feed refuses (and the board overflows).
+    pub fn with_backlog(tf: &TagFile, workers: usize, backlog: usize) -> Self {
+        let map = Arc::new(TagMap::from_tagfile(tf));
+        let syms = Symbols::from_tagfile(tf);
+        let (tx, rx) = std::sync::mpsc::sync_channel(backlog.max(1));
+        let rx: Arc<Mutex<Receiver<QueuedBank>>> = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let workers = (0..workers.max(1))
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                let map = Arc::clone(&map);
+                let syms = syms.clone();
+                let queued = Arc::clone(&queued);
+                std::thread::Builder::new()
+                    .name(format!("hwprof-analyze-{w}"))
+                    .spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            // Hold the receiver lock only to claim the
+                            // next bank, never while analyzing it.
+                            let claimed = {
+                                let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+                                rx.recv()
+                            };
+                            let Ok((idx, bank)) = claimed else {
+                                break;
+                            };
+                            queued.fetch_sub(1, Ordering::Relaxed);
+                            let mut decoder = SessionDecoder::new(&map);
+                            let mut events = Vec::new();
+                            decoder.extend(&bank, &mut events);
+                            done.push((idx, reconstruct_session(&syms, &events)));
+                        }
+                        done
+                    })
+                    .expect("spawning an analysis worker thread")
+            })
+            .collect();
+        StreamAnalyzer {
+            tx: Some(tx),
+            workers,
+            syms,
+            queued,
+        }
+    }
+
+    /// The feed to hand the board (its drain sink).  Bank order through
+    /// one feed defines session order; use a single feed per capture.
+    pub fn feed(&self) -> BankFeed {
+        let tx = self.tx.as_ref().expect("feed() before finish()").clone();
+        BankFeed {
+            next: 0,
+            tx,
+            queued: Arc::clone(&self.queued),
+        }
+    }
+
+    /// Banks queued and not yet claimed by a worker (backpressure
+    /// observability).
+    pub fn backlog(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Closes the feed, waits for the workers to drain the queue, and
+    /// merges the per-bank reconstructions in bank order.
+    pub fn finish(mut self) -> Reconstruction {
+        drop(self.tx.take());
+        let mut parts: Vec<(usize, Reconstruction)> = Vec::new();
+        for handle in self.workers.drain(..) {
+            match handle.join() {
+                Ok(done) => parts.extend(done),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        parts.sort_by_key(|(i, _)| *i);
+        let mut out = Reconstruction::empty(self.syms.clone());
+        out.trace
+            .reserve(parts.iter().map(|(_, r)| r.trace.len()).sum());
+        for (_, r) in parts {
+            out.merge(r);
+        }
+        out
+    }
+}

@@ -1,8 +1,11 @@
 //! Analysis-software performance: decoding and reconstructing a full
 //! RAM load (the paper's "uploaded to a UNIX host" step).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hwprof_analysis::{analyze, decode, summary_report, trace_report, TraceStyle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwprof_analysis::{
+    analyze, analyze_parallel, analyze_sessions, decode, summary_report, trace_report, Event,
+    SessionDecoder, TagMap, TraceStyle,
+};
 use hwprof_profiler::RawRecord;
 use hwprof_tagfile::{TagFile, TagKind};
 
@@ -62,5 +65,40 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_analysis);
+/// The streaming question: how fast does a million-event drain capture
+/// reconstruct, batch vs fanned across workers?  Each session is one
+/// drained half-RAM bank (8192 events).
+fn bench_parallel_reconstruction(c: &mut Criterion) {
+    let (tf, bank) = synthetic_capture();
+    let map = TagMap::from_tagfile(&tf);
+    let syms = hwprof_analysis::Symbols::from_tagfile(&tf);
+    // 64 banks of ~16k events each: a ~1M-event capture.
+    let sessions: Vec<Vec<Event>> = (0..64)
+        .map(|_| {
+            let mut d = SessionDecoder::new(&map);
+            let mut ev = Vec::new();
+            d.extend(&bank, &mut ev);
+            ev
+        })
+        .collect();
+    let n: u64 = sessions.iter().map(|s| s.len() as u64).sum();
+    let mut g = c.benchmark_group("parallel_reconstruction");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+    g.bench_function("batch_1m", |b| {
+        b.iter(|| analyze_sessions(&syms, &sessions));
+    });
+    for workers in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_1m", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| analyze_parallel(&syms, &sessions, w));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_parallel_reconstruction);
 criterion_main!(benches);

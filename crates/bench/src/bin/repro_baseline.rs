@@ -12,16 +12,14 @@ use hwprof_bench::{banner, row};
 fn run(clock_hz: u64, sample: bool) -> hwprof::Capture {
     let mut scenario = scenarios::network_receive(100 * 1024, true);
     if sample {
-        let inner = std::mem::replace(&mut scenario.spawn, Box::new(|_| {}));
-        scenario.spawn = Box::new(move |sim| {
-            // Arm the sampler with a tiny bootstrap process.
+        // Arm the sampler with a tiny bootstrap process.
+        scenario = scenario.with_spawn_prelude(|sim| {
             sim.spawn(
                 "profil-on",
                 Box::new(|ctx| {
                     ctx.k.sampling.enabled = true;
                 }),
             );
-            inner(sim);
         });
     }
     Experiment::new()

@@ -46,10 +46,8 @@ fn main() {
     // Timer wrap: a process sleeping 20 virtual seconds leaves a gap
     // longer than the 24-bit counter can express, so the analysis
     // underestimates the gap by exactly one wrap (16.777216 s).
-    let quiet = Scenario {
-        host: None,
-        disk: false,
-        spawn: Box::new(|sim| {
+    let quiet = Scenario::builder()
+        .spawn(|sim| {
             sim.spawn(
                 "long-sleeper",
                 Box::new(|ctx| {
@@ -59,8 +57,8 @@ fn main() {
                     sys_sleep(ctx, 2000);
                 }),
             );
-        }),
-    };
+        })
+        .build();
     // Only the syscall layer (and the always-tagged swtch) is profiled,
     // so nothing fires during the sleep and the gap exceeds the wrap.
     let capture2 = Experiment::new()

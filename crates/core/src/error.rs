@@ -1,0 +1,65 @@
+//! Errors an [`Experiment`](crate::Experiment) run can hit.
+
+use hwprof_instrument::LinkError;
+use hwprof_tagfile::TagFileError;
+
+/// Everything that can go wrong between configuring an experiment and
+/// getting a capture back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// [`Experiment::scenario`](crate::Experiment::scenario) was never
+    /// called.
+    MissingScenario,
+    /// The scenario spawned no processes, so the simulation would have
+    /// nothing to schedule.
+    EmptyScenario,
+    /// The modified compiler pass rejected the tag assignment.
+    Compile(TagFileError),
+    /// The two-stage link could not resolve `_ProfileBase`.
+    Link(LinkError),
+    /// A streaming capture overflowed: a full bank found no empty RAM
+    /// (the analysis pipeline refused it) and the board stopped storing.
+    BoardOverflow {
+        /// Banks successfully handed to the pipeline before the stop.
+        banks: u64,
+        /// Trigger reads lost after the board stopped.
+        missed: u64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::MissingScenario => write!(f, "experiment has no scenario"),
+            Error::EmptyScenario => write!(f, "scenario spawned no processes"),
+            Error::Compile(e) => write!(f, "instrumented compile failed: {e}"),
+            Error::Link(e) => write!(f, "two-stage link failed: {e}"),
+            Error::BoardOverflow { banks, missed } => write!(
+                f,
+                "board overflowed mid-stream after {banks} banks ({missed} trigger reads lost)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Link(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TagFileError> for Error {
+    fn from(e: TagFileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<LinkError> for Error {
+    fn from(e: LinkError) -> Self {
+        Error::Link(e)
+    }
+}

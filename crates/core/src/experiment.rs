@@ -5,8 +5,17 @@
 //! modules with profiling (selective macro-/micro-profiling), resolve
 //! `_ProfileBase` with the two-stage link, flip the board's switch, run
 //! the workload, carry the RAMs to the "UNIX host" (the analysis crate).
+//!
+//! Two capture modes:
+//!
+//! * [`Experiment::try_run`] — the paper's one-shot capture: the RAM
+//!   fills once, the whole image is uploaded afterwards.
+//! * [`Experiment::try_run_streaming`] — drain-while-armed: the board's
+//!   RAM runs as a double buffer and every full bank streams into an
+//!   analysis worker pool *while the workload is still running*, so a
+//!   capture is no longer bounded by the 16384-event RAM.
 
-use hwprof_analysis::{analyze_sessions, decode, Reconstruction};
+use hwprof_analysis::{analyze_sessions, decode, Reconstruction, StreamAnalyzer};
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
 use hwprof_kernel386::kernel::{Kernel, KernelConfig};
@@ -17,18 +26,96 @@ use hwprof_machine::CostModel;
 use hwprof_profiler::{BoardConfig, Profiler, RawRecord};
 use hwprof_tagfile::TagFile;
 
+use crate::error::Error;
+
 /// Text+data bytes of the uninstrumented kernel image (a 386BSD 0.1
 /// GENERIC-ish size; only the Figure 2 address arithmetic consumes it).
 pub const BASE_KERNEL_SIZE: u32 = 560 * 1024;
 
 /// A workload: devices it needs plus the processes it spawns.
+///
+/// Built with [`Scenario::builder`]:
+///
+/// ```no_run
+/// use hwprof::Scenario;
+///
+/// let s = Scenario::builder()
+///     .disk()
+///     .spawn(|sim| {
+///         sim.spawn("worker", Box::new(|_ctx| { /* ... */ }));
+///     })
+///     .build();
+/// ```
 pub struct Scenario {
-    /// Remote Ethernet host, if the scenario needs the wire.
-    pub host: Option<Box<dyn RemoteHost>>,
-    /// Whether the IDE disk is needed.
-    pub disk: bool,
-    /// Spawns the scenario's processes.
-    pub spawn: Box<dyn FnOnce(&Sim)>,
+    host: Option<Box<dyn RemoteHost>>,
+    disk: bool,
+    spawn: SpawnHook,
+}
+
+/// The one-shot process-spawning hook a scenario runs at boot.
+type SpawnHook = Box<dyn FnOnce(&Sim)>;
+
+impl Scenario {
+    /// Starts building a scenario: no remote host, no disk, nothing
+    /// spawned.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// This scenario with `f` run just before its own spawn hook —
+    /// decorates a canned workload with bootstrap processes (e.g. a
+    /// process that switches the clock sampler on).
+    pub fn with_spawn_prelude(self, f: impl FnOnce(&Sim) + 'static) -> Scenario {
+        let inner = self.spawn;
+        Scenario {
+            host: self.host,
+            disk: self.disk,
+            spawn: Box::new(move |sim| {
+                f(sim);
+                inner(sim);
+            }),
+        }
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Default)]
+pub struct ScenarioBuilder {
+    host: Option<Box<dyn RemoteHost>>,
+    disk: bool,
+    spawn: Option<SpawnHook>,
+}
+
+impl ScenarioBuilder {
+    /// The remote Ethernet host on the other end of the wire.
+    pub fn host(mut self, host: impl RemoteHost + 'static) -> Self {
+        self.host = Some(Box::new(host));
+        self
+    }
+
+    /// The scenario needs the IDE disk.
+    pub fn disk(mut self) -> Self {
+        self.disk = true;
+        self
+    }
+
+    /// Spawns the scenario's processes (runs once, just before the
+    /// simulation starts).
+    pub fn spawn(mut self, f: impl FnOnce(&Sim) + 'static) -> Self {
+        self.spawn = Some(Box::new(f));
+        self
+    }
+
+    /// Finishes the scenario.  A scenario that never called
+    /// [`spawn`](ScenarioBuilder::spawn) spawns nothing and the run
+    /// reports [`Error::EmptyScenario`].
+    pub fn build(self) -> Scenario {
+        Scenario {
+            host: self.host,
+            disk: self.disk,
+            spawn: self.spawn.unwrap_or_else(|| Box::new(|_| {})),
+        }
+    }
 }
 
 /// A configured profiling experiment.
@@ -109,25 +196,19 @@ impl Experiment {
         self
     }
 
-    /// Builds, links, runs and uploads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no scenario was supplied or the simulation panics.
-    pub fn run(self) -> Capture {
-        let scenario = self.scenario.expect("Experiment needs a scenario");
+    /// Compiles, links, plugs the board in and spawns the scenario's
+    /// processes; shared by both capture modes.
+    fn prepare(self) -> Result<PreparedRun, Error> {
+        let scenario = self.scenario.ok_or(Error::MissingScenario)?;
         // The modified compiler pass; swtch is always tagged.
         let mut compiler = Compiler::new(500);
-        let image = compiler
-            .compile_forced(&FUNCS, &INLINES, &self.select, &[KFn::Swtch.idx()])
-            .expect("fresh tag file cannot collide");
+        let image = compiler.compile_forced(&FUNCS, &INLINES, &self.select, &[KFn::Swtch.idx()])?;
         let tagfile = image.tagfile.clone();
         // The two-stage link resolves _ProfileBase for this build.
         let link = two_stage_link(
             KernelImage::new(BASE_KERNEL_SIZE, &image.stats),
             DEFAULT_EPROM_PHYS,
-        )
-        .expect("EPROM socket is in the ISA window");
+        )?;
         // The board on the EPROM socket.
         let board = Profiler::new(self.board);
         if self.armed {
@@ -146,16 +227,110 @@ impl Experiment {
         }
         let sim = builder.build();
         (scenario.spawn)(&sim);
-        let kernel = sim.run();
-        Capture {
-            records: board.records(),
-            overflowed: board.leds().overflow,
-            missed: board.missed(),
+        if sim.process_count() == 0 {
+            return Err(Error::EmptyScenario);
+        }
+        Ok(PreparedRun {
+            board,
+            sim,
             tagfile,
             link,
+        })
+    }
+
+    /// Builds, links, runs and uploads.
+    ///
+    /// # Errors
+    ///
+    /// See [`Error`]; a full RAM is *not* an error here — the capture
+    /// simply stopped early, exactly like the hardware, and
+    /// [`Capture::overflowed`] says so.
+    pub fn try_run(self) -> Result<Capture, Error> {
+        let p = self.prepare()?;
+        let kernel = p.sim.run();
+        Ok(Capture {
+            records: p.board.records(),
+            overflowed: p.board.leds().overflow,
+            missed: p.board.missed(),
+            tagfile: p.tagfile,
+            link: p.link,
             kernel,
+        })
+    }
+
+    /// Builds, links, runs and uploads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`Error`]; use [`Experiment::try_run`] to handle
+    /// them.
+    pub fn run(self) -> Capture {
+        match self.try_run() {
+            Ok(c) => c,
+            Err(e) => panic!("experiment failed: {e}"),
         }
     }
+
+    /// Drain-while-armed capture: the board streams full half-RAM banks
+    /// into a pool of `workers` analysis threads while the scenario is
+    /// still running, and the per-bank reconstructions are merged — the
+    /// result is bit-identical to uploading all the banks and running
+    /// the batch analysis, but the capture length is bounded by the
+    /// workload, not the RAM.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Experiment::try_run`] reports, plus
+    /// [`Error::BoardOverflow`] if the pipeline ever refused a bank and
+    /// the board stopped storing.
+    pub fn try_run_streaming(self, workers: usize) -> Result<StreamCapture, Error> {
+        let p = self.prepare()?;
+        let analyzer = StreamAnalyzer::new(&p.tagfile, workers);
+        p.board.set_drain(Box::new(analyzer.feed()));
+        let kernel = p.sim.run();
+        p.board.set_switch(false);
+        // The operator pulls the last, partial RAM...
+        let overflowed = p.board.leds().overflow;
+        if !overflowed {
+            p.board.flush_drain();
+        }
+        // ...and unplugs the sink so the worker pool can drain out.
+        drop(p.board.clear_drain());
+        let banks = p.board.banks_drained();
+        let missed = p.board.missed();
+        let profile = analyzer.finish();
+        if overflowed {
+            return Err(Error::BoardOverflow { banks, missed });
+        }
+        Ok(StreamCapture {
+            profile,
+            banks,
+            missed,
+            tagfile: p.tagfile,
+            link: p.link,
+            kernel,
+        })
+    }
+
+    /// Drain-while-armed capture; see [`Experiment::try_run_streaming`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`Error`].
+    pub fn run_streaming(self, workers: usize) -> StreamCapture {
+        match self.try_run_streaming(workers) {
+            Ok(c) => c,
+            Err(e) => panic!("streaming experiment failed: {e}"),
+        }
+    }
+}
+
+/// Everything `prepare` sets up before a run.
+struct PreparedRun {
+    board: Profiler,
+    sim: Sim,
+    tagfile: TagFile,
+    link: LinkResult,
 }
 
 /// The upload: everything the run produced.
@@ -196,6 +371,34 @@ impl Capture {
         analyze_sessions(&syms.expect("non-empty"), &sessions)
     }
 
+    /// Fraction of wall time the CPU was busy (from the scheduler, not
+    /// the capture).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.kernel.machine.now.max(1);
+        1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
+    }
+}
+
+/// What a drain-while-armed run produced: the capture was analyzed as
+/// it streamed, so the profile arrives already reconstructed.
+pub struct StreamCapture {
+    /// The merged reconstruction over every drained bank.
+    pub profile: Reconstruction,
+    /// Banks the board handed to the pipeline (including the final
+    /// partial one).
+    pub banks: u64,
+    /// Trigger reads the board saw while not storing (switch off before
+    /// arming; zero in a clean streaming run).
+    pub missed: u64,
+    /// The name/tag file of this build.
+    pub tagfile: TagFile,
+    /// The resolved two-stage link.
+    pub link: LinkResult,
+    /// Final kernel state (ground truth, statistics).
+    pub kernel: Kernel,
+}
+
+impl StreamCapture {
     /// Fraction of wall time the CPU was busy (from the scheduler, not
     /// the capture).
     pub fn busy_fraction(&self) -> f64 {

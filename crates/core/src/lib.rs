@@ -17,16 +17,33 @@
 //! let capture = Experiment::new()
 //!     .profile_modules(&["net", "locore", "kern"])
 //!     .scenario(scenarios::network_receive(32 * 1024, false))
-//!     .run();
+//!     .try_run()
+//!     .expect("experiment builds and links");
 //! let profile = capture.analyze();
 //! println!("{}", summary_report(&profile, Some(10)));
 //! assert!(profile.agg("bcopy").unwrap().calls > 0);
 //! ```
+//!
+//! For captures longer than the board's RAM, stream instead: the board
+//! drains full half-RAM banks into analysis workers while the workload
+//! runs, and the merged profile is bit-identical to the batch answer.
+//!
+//! ```
+//! use hwprof::{Experiment, scenarios};
+//!
+//! let stream = Experiment::new()
+//!     .scenario(scenarios::network_receive(64 * 1024, false))
+//!     .try_run_streaming(4)
+//!     .expect("pipeline keeps up");
+//! assert!(stream.banks >= 1);
+//! ```
 
+pub mod error;
 pub mod experiment;
 pub mod scenarios;
 
-pub use experiment::{Capture, Experiment};
+pub use error::Error;
+pub use experiment::{Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture};
 
 // Re-export the component crates under one roof.
 pub use hwprof_analysis as analysis;

@@ -52,10 +52,9 @@ pub fn network_receive(total_bytes: u64, saturate: bool) -> Scenario {
     } else {
         TcpBlaster::paced(RECV_PORT, mss, total_bytes, 2500)
     };
-    Scenario {
-        host: Some(Box::new(blaster)),
-        disk: false,
-        spawn: Box::new(move |sim| {
+    Scenario::builder()
+        .host(blaster)
+        .spawn(move |sim| {
             sim.spawn(
                 "ttcp-r",
                 Box::new(move |ctx| {
@@ -64,18 +63,18 @@ pub fn network_receive(total_bytes: u64, saturate: bool) -> Scenario {
                     sys_close(ctx, fd);
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// The Figure 4 workload: a handful of packets arriving while a second
 /// process wakes up and opens files — one capture showing the driver
 /// path, `ipintr`, `tcp_input`, a context switch and the `falloc` path.
 pub fn single_packet_trace() -> Scenario {
-    Scenario {
-        host: Some(Box::new(TcpBlaster::paced(RECV_PORT, 1460, 6 * 1460, 3000))),
-        disk: true,
-        spawn: Box::new(|sim| {
+    Scenario::builder()
+        .host(TcpBlaster::paced(RECV_PORT, 1460, 6 * 1460, 3000))
+        .disk()
+        .spawn(|sim| {
             sim.spawn(
                 "reader",
                 Box::new(|ctx| {
@@ -95,18 +94,16 @@ pub fn single_packet_trace() -> Scenario {
                     }
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// The Figure 5 workload: a shell-sized parent vforks + execs children
 /// in a loop ("a common operation of UNIX").  `iterations` fork/exec
 /// cycles.
 pub fn forkexec_loop(iterations: usize) -> Scenario {
-    Scenario {
-        host: None,
-        disk: false,
-        spawn: Box::new(move |sim| {
+    Scenario::builder()
+        .spawn(move |sim| {
             sim.spawn(
                 "sh",
                 Box::new(move |ctx| {
@@ -127,17 +124,16 @@ pub fn forkexec_loop(iterations: usize) -> Scenario {
                     }
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// The filesystem workload: stream `blocks` 4 KiB blocks into a file
 /// through the buffer cache and the IDE driver.
 pub fn fs_writer(blocks: usize) -> Scenario {
-    Scenario {
-        host: None,
-        disk: true,
-        spawn: Box::new(move |sim| {
+    Scenario::builder()
+        .disk()
+        .spawn(move |sim| {
             sim.spawn(
                 "writer",
                 Box::new(move |ctx| {
@@ -150,8 +146,8 @@ pub fn fs_writer(blocks: usize) -> Scenario {
                     hwprof_kernel386::syscall::sys_sync(ctx);
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// Scattered uncached reads: the 18-26 ms read-latency study.  Writes
@@ -160,10 +156,9 @@ pub fn fs_writer(blocks: usize) -> Scenario {
 /// around a large pre-written file instead, defeating readahead-free
 /// caching by visiting each block once.
 pub fn fs_scattered_reads(blocks: usize) -> Scenario {
-    Scenario {
-        host: None,
-        disk: true,
-        spawn: Box::new(move |sim| {
+    Scenario::builder()
+        .disk()
+        .spawn(move |sim| {
             sim.spawn(
                 "reader",
                 Box::new(move |ctx| {
@@ -198,17 +193,16 @@ pub fn fs_scattered_reads(blocks: usize) -> Scenario {
                     sys_close(ctx, fd);
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// The NFS-vs-FTP comparison: read `total` bytes over NFS RPC (UDP,
 /// checksums off).
 pub fn nfs_stream(total: usize) -> Scenario {
-    Scenario {
-        host: Some(Box::new(NfsServer::new(1200, false))),
-        disk: false,
-        spawn: Box::new(move |sim| {
+    Scenario::builder()
+        .host(NfsServer::new(1200, false))
+        .spawn(move |sim| {
             sim.spawn(
                 "nfsio",
                 Box::new(move |ctx| {
@@ -216,37 +210,35 @@ pub fn nfs_stream(total: usize) -> Scenario {
                     assert_eq!(data.len(), total);
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// An idle machine with the clock ticking: the clock-interrupt study.
 pub fn clock_idle(ticks: u32) -> Scenario {
-    Scenario {
-        host: None,
-        disk: false,
-        spawn: Box::new(move |sim| {
+    Scenario::builder()
+        .spawn(move |sim| {
             sim.spawn(
                 "idle-watch",
                 Box::new(move |ctx| {
                     sys_sleep(ctx, ticks);
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }
 
 /// A mixed workload exercising every subsystem (Table 1 sampling).
 pub fn mixed(iterations: usize) -> Scenario {
-    Scenario {
-        host: Some(Box::new(TcpBlaster::paced(
+    Scenario::builder()
+        .host(TcpBlaster::paced(
             RECV_PORT,
             1460,
             (iterations as u64) * 8 * 1460,
             2600,
-        ))),
-        disk: true,
-        spawn: Box::new(move |sim| {
+        ))
+        .disk()
+        .spawn(move |sim| {
             sim.spawn(
                 "mix-net",
                 Box::new(move |ctx| {
@@ -277,6 +269,6 @@ pub fn mixed(iterations: usize) -> Scenario {
                     }
                 }),
             );
-        }),
-    }
+        })
+        .build()
 }

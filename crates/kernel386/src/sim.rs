@@ -138,6 +138,13 @@ impl Sim {
         pid
     }
 
+    /// Processes alive right now; before [`Sim::run`] this is the number
+    /// spawned, letting a harness reject an empty scenario without
+    /// tripping the scheduler's panic.
+    pub fn process_count(&self) -> usize {
+        self.shared.kernel.lock().live_procs as usize
+    }
+
     /// Runs the simulation until every process has exited; returns the
     /// final kernel for inspection.
     ///

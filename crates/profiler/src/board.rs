@@ -48,6 +48,34 @@ impl BoardConfig {
     }
 }
 
+/// Where drained capture-RAM banks go while the board stays armed.
+///
+/// Drain-while-armed mode models the paper's repeated re-arm runs
+/// ("the operator swapped battery-backed RAMs between runs") as a
+/// double-buffered capture RAM: when one bank fills, it is handed to
+/// the sink whole while the other bank keeps recording.  Each bank is
+/// one capture session to the analysis software.
+pub trait BankSink: Send {
+    /// Accepts a full bank.  Returning `false` means the sink could not
+    /// take it (the operator was not ready with an empty RAM); the
+    /// board then overflows exactly like a full single-bank capture.
+    fn bank(&mut self, records: Vec<RawRecord>) -> bool;
+}
+
+impl BankSink for std::sync::mpsc::Sender<Vec<RawRecord>> {
+    fn bank(&mut self, records: Vec<RawRecord>) -> bool {
+        self.send(records).is_ok()
+    }
+}
+
+impl BankSink for std::sync::mpsc::SyncSender<Vec<RawRecord>> {
+    fn bank(&mut self, records: Vec<RawRecord>) -> bool {
+        // A full channel is the hardware analogue of no empty RAM on
+        // hand: refuse rather than stall the machine being profiled.
+        self.try_send(records).is_ok()
+    }
+}
+
 /// The two indicator LEDs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Leds {
@@ -58,7 +86,6 @@ pub struct Leds {
     pub overflow: bool,
 }
 
-#[derive(Debug)]
 struct BoardState {
     config: BoardConfig,
     ram: Vec<RawRecord>,
@@ -67,6 +94,22 @@ struct BoardState {
     /// Total trigger reads seen while not storing (armed off or
     /// overflowed); useful to quantify what a capture missed.
     missed: u64,
+    /// Drain-while-armed sink; `None` is the stock single-bank board.
+    drain: Option<Box<dyn BankSink>>,
+    /// Banks handed to the sink so far (including the final flush).
+    banks_drained: u64,
+}
+
+impl BoardState {
+    /// Events one bank holds: half the RAM in drain mode (double
+    /// buffer), all of it on the stock board.
+    fn bank_capacity(&self) -> usize {
+        if self.drain.is_some() {
+            (self.config.capacity / 2).max(1)
+        } else {
+            self.config.capacity
+        }
+    }
 }
 
 /// A handle to the Profiler board.
@@ -104,6 +147,8 @@ impl Profiler {
                 armed: false,
                 overflowed: false,
                 missed: 0,
+                drain: None,
+                banks_drained: 0,
             })),
         }
     }
@@ -159,6 +204,45 @@ impl Profiler {
         self.state.lock().missed
     }
 
+    /// Switches on drain-while-armed mode: the capture RAM becomes a
+    /// double buffer and every full half-RAM bank is handed to `sink`
+    /// while the other half keeps recording, so captures are no longer
+    /// bounded by the 16384-event RAM.
+    pub fn set_drain(&self, sink: Box<dyn BankSink>) {
+        let mut s = self.state.lock();
+        s.drain = Some(sink);
+    }
+
+    /// Banks handed to the drain sink so far.
+    pub fn banks_drained(&self) -> u64 {
+        self.state.lock().banks_drained
+    }
+
+    /// Hands the current partial bank to the drain sink (the operator
+    /// pulling the last RAM after the run).  Returns `false` if no
+    /// drain is configured or the sink refused the bank.
+    pub fn flush_drain(&self) -> bool {
+        let mut s = self.state.lock();
+        let st = &mut *s;
+        match st.drain.as_mut() {
+            Some(sink) => {
+                if st.ram.is_empty() {
+                    return true;
+                }
+                st.banks_drained += 1;
+                sink.bank(std::mem::take(&mut st.ram))
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the drain sink and returns the board to stock
+    /// single-bank behaviour.  Dropping the returned sink is what closes
+    /// a streaming pipeline's feed, letting its workers finish.
+    pub fn clear_drain(&self) -> Option<Box<dyn BankSink>> {
+        self.state.lock().drain.take()
+    }
+
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.state.lock().config.capacity
@@ -168,19 +252,39 @@ impl Profiler {
 impl EpromTap for Profiler {
     fn on_read(&mut self, offset: u16, now_us: u64) {
         let mut s = self.state.lock();
-        if !s.armed || s.overflowed {
-            s.missed += 1;
+        let st = &mut *s;
+        if !st.armed || st.overflowed {
+            st.missed += 1;
             return;
         }
-        if s.ram.len() >= s.config.capacity {
-            // Address counter overflow: stop storing, light the LED.
-            s.overflowed = true;
-            s.armed = false;
-            s.missed += 1;
-            return;
+        if st.ram.len() >= st.bank_capacity() {
+            match st.drain.as_mut() {
+                Some(sink) => {
+                    // Bank swap: the full bank goes to the sink, the
+                    // other bank keeps recording the same time stream.
+                    let cap = (st.config.capacity / 2).max(1);
+                    let full = std::mem::replace(&mut st.ram, Vec::with_capacity(cap));
+                    st.banks_drained += 1;
+                    if !sink.bank(full) {
+                        // No empty RAM ready: overflow, stop storing.
+                        st.overflowed = true;
+                        st.armed = false;
+                        st.missed += 1;
+                        return;
+                    }
+                }
+                None => {
+                    // Address counter overflow: stop storing, light the
+                    // LED.
+                    st.overflowed = true;
+                    st.armed = false;
+                    st.missed += 1;
+                    return;
+                }
+            }
         }
-        let mask = s.config.time_mask();
-        s.ram.push(RawRecord {
+        let mask = st.config.time_mask();
+        st.ram.push(RawRecord {
             tag: offset,
             time: (now_us & mask) as u32,
         });
@@ -278,6 +382,68 @@ mod tests {
         b.set_switch(true);
         b.on_read(1, 0xFFFF_FFFF);
         assert_eq!(b.records()[0].time, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn drain_mode_swaps_banks_without_overflow() {
+        let b = Profiler::new(BoardConfig {
+            capacity: 8,
+            time_bits: 24,
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        b.set_drain(Box::new(tx));
+        b.set_switch(true);
+        let mut tap = b.clone();
+        // 23 events through a 2x4-event double buffer.
+        for i in 0..23u64 {
+            tap.on_read(i as u16, i * 10);
+        }
+        assert!(!b.overflowed(), "drain mode never fills");
+        assert_eq!(b.missed(), 0);
+        // 5 full banks drained, 3 events still in the recording bank.
+        assert_eq!(b.banks_drained(), 5);
+        assert_eq!(b.stored(), 3);
+        assert!(b.flush_drain());
+        assert_eq!(b.banks_drained(), 6);
+        assert_eq!(b.stored(), 0);
+        let banks: Vec<Vec<RawRecord>> = rx.try_iter().collect();
+        assert_eq!(banks.len(), 6);
+        let all: Vec<RawRecord> = banks.concat();
+        assert_eq!(all.len(), 23);
+        // The concatenated banks are the uninterrupted event stream.
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.tag, i as u16);
+            assert_eq!(r.time, (i as u32) * 10);
+        }
+    }
+
+    #[test]
+    fn refused_bank_overflows_the_board() {
+        let b = Profiler::new(BoardConfig {
+            capacity: 4,
+            time_bits: 24,
+        });
+        // Bound 1: the second full bank finds the channel occupied.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        b.set_drain(Box::new(tx));
+        b.set_switch(true);
+        let mut tap = b.clone();
+        for i in 0..10u64 {
+            tap.on_read(i as u16, i);
+        }
+        assert!(b.overflowed(), "sink full means no empty RAM ready");
+        assert!(b.leds().overflow);
+        assert!(b.missed() > 0);
+        drop(rx);
+    }
+
+    #[test]
+    fn flush_without_drain_reports_false() {
+        let mut b = Profiler::stock();
+        b.set_switch(true);
+        b.on_read(1, 5);
+        assert!(!b.flush_drain());
+        assert_eq!(b.stored(), 1, "stock board keeps its RAM");
     }
 
     #[test]

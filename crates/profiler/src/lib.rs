@@ -24,6 +24,6 @@ mod board;
 mod record;
 mod zif;
 
-pub use board::{BoardConfig, Leds, Profiler};
+pub use board::{BankSink, BoardConfig, Leds, Profiler};
 pub use record::{parse_raw, serialize_raw, RawRecord, RecordError, TIME_MASK};
 pub use zif::{ram_chip_view, reassemble, RamChip};

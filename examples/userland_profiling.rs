@@ -36,10 +36,8 @@ fn app_tagfile() -> TagFile {
 }
 
 fn main() {
-    let scenario = Scenario {
-        host: None,
-        disk: false,
-        spawn: Box::new(|sim| {
+    let scenario = Scenario::builder()
+        .spawn(|sim| {
             sim.spawn(
                 "app",
                 Box::new(|ctx| {
@@ -60,8 +58,8 @@ fn main() {
                     user_trigger(ctx, APP_MAIN + 1);
                 }),
             );
-        }),
-    };
+        })
+        .build();
     let capture = Experiment::new()
         .profile_modules(&["kern", "sys", "dev", "locore"])
         .scenario(scenario)
