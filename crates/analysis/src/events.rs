@@ -1,7 +1,16 @@
 //! Raw record decoding: 24-bit time unwrap and tag-to-name matching.
 
+use crate::anomaly::Anomalies;
 use hwprof_profiler::{RawRecord, TIME_MASK};
 use hwprof_tagfile::{TagFile, TagKind};
+
+/// A one-step timestamp delta at or beyond half the 24-bit window is
+/// treated as corruption, not elapsed time.  A live kernel never goes
+/// ~8.4 s between back-to-back events (the paper's workloads log
+/// thousands per second), but a single flipped high time bit lands the
+/// delta here immediately — the same half-window heuristic TCP uses to
+/// order sequence numbers.
+pub const TIME_JUMP_THRESHOLD: u32 = 1 << 23;
 
 /// Index into the symbol table.
 pub type SymId = u32;
@@ -88,6 +97,7 @@ pub struct Event {
 pub struct TimeUnwrapper {
     abs: u64,
     prev: Option<u32>,
+    held: bool,
 }
 
 impl TimeUnwrapper {
@@ -106,6 +116,40 @@ impl TimeUnwrapper {
         }
         self.prev = Some(t);
         self.abs
+    }
+
+    /// Like [`push`], but classifies a delta at or beyond
+    /// [`TIME_JUMP_THRESHOLD`] as corruption: absolute time holds
+    /// instead of leaping ~8 s forward, and the jump is flagged.
+    ///
+    /// A lone corrupt value is bridged — the previous good value stays
+    /// the reference, so the next clean timestamp lands normally.  Two
+    /// consecutive jumps mean the reference itself was the corrupt
+    /// value: the new value is adopted as the base (time resumes from
+    /// it without the bogus gap).
+    ///
+    /// [`push`]: TimeUnwrapper::push
+    pub fn push_checked(&mut self, raw_time: u32) -> (u64, bool) {
+        let t = raw_time & TIME_MASK;
+        let Some(p) = self.prev else {
+            self.prev = Some(t);
+            return (self.abs, false);
+        };
+        let delta = t.wrapping_sub(p) & TIME_MASK;
+        if delta >= TIME_JUMP_THRESHOLD {
+            if self.held {
+                self.prev = Some(t);
+                self.held = false;
+            } else {
+                self.held = true;
+            }
+            (self.abs, true)
+        } else {
+            self.abs += u64::from(delta);
+            self.prev = Some(t);
+            self.held = false;
+            (self.abs, false)
+        }
     }
 }
 
@@ -156,6 +200,8 @@ impl TagMap {
 pub struct SessionDecoder<'a> {
     map: &'a TagMap,
     unwrapper: TimeUnwrapper,
+    last: Option<(u16, u32)>,
+    anoms: Anomalies,
 }
 
 impl<'a> SessionDecoder<'a> {
@@ -164,6 +210,8 @@ impl<'a> SessionDecoder<'a> {
         SessionDecoder {
             map,
             unwrapper: TimeUnwrapper::new(),
+            last: None,
+            anoms: Anomalies::default(),
         }
     }
 
@@ -180,6 +228,38 @@ impl<'a> SessionDecoder<'a> {
         out.reserve(records.len());
         out.extend(records.iter().map(|r| self.push(r)));
     }
+
+    /// Decodes the next record in recovery mode: an adjacent duplicate
+    /// (a stuck address counter stored the same cell twice) is dropped
+    /// and counted, and timestamp corruption is clamped and counted via
+    /// [`TimeUnwrapper::push_checked`].
+    pub fn push_recovering(&mut self, record: &RawRecord) -> Option<Event> {
+        if self.last == Some((record.tag, record.time)) {
+            self.anoms.duplicates += 1;
+            return None;
+        }
+        self.last = Some((record.tag, record.time));
+        let (t, jumped) = self.unwrapper.push_checked(record.time);
+        if jumped {
+            self.anoms.time_jumps += 1;
+        }
+        Some(Event {
+            t,
+            kind: self.map.classify(record.tag),
+        })
+    }
+
+    /// Decodes the next chunk of records in recovery mode, appending
+    /// surviving events to `out`.
+    pub fn extend_recovering(&mut self, records: &[RawRecord], out: &mut Vec<Event>) {
+        out.reserve(records.len());
+        out.extend(records.iter().filter_map(|r| self.push_recovering(r)));
+    }
+
+    /// Anomalies flagged by the recovery-mode decode so far.
+    pub fn anomalies(&self) -> Anomalies {
+        self.anoms
+    }
 }
 
 /// Decodes a capture session against the name/tag file.
@@ -194,6 +274,19 @@ pub fn decode(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>) {
     let mut events = Vec::new();
     decoder.extend(records, &mut events);
     (syms, events)
+}
+
+/// Decodes a capture session in recovery mode: adjacent duplicate
+/// records are dropped and timestamp corruption clamped, with every
+/// intervention counted in the returned [`Anomalies`].
+pub fn decode_recovering(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>, Anomalies) {
+    let syms = Symbols::from_tagfile(tf);
+    let map = TagMap::from_tagfile(tf);
+    let mut decoder = SessionDecoder::new(&map);
+    let mut events = Vec::new();
+    decoder.extend_recovering(records, &mut events);
+    let anoms = decoder.anomalies();
+    (syms, events, anoms)
 }
 
 #[cfg(test)]
@@ -231,6 +324,58 @@ mod tests {
             time: 123_456,
         }];
         assert_eq!(unwrap_times(&recs), vec![0]);
+    }
+
+    #[test]
+    fn checked_unwrap_bridges_one_corrupt_timestamp() {
+        let mut u = TimeUnwrapper::new();
+        assert_eq!(u.push_checked(100), (0, false));
+        assert_eq!(u.push_checked(200), (100, false));
+        // Bit 23 flipped: a ~8.4 s leap, clamped and flagged.
+        assert_eq!(u.push_checked(300 | (1 << 23)), (100, true));
+        // The next clean value lands against the last good reference.
+        assert_eq!(u.push_checked(400), (300, false));
+    }
+
+    #[test]
+    fn checked_unwrap_adopts_base_after_two_jumps() {
+        let mut u = TimeUnwrapper::new();
+        // The first (reference) value itself was corrupt: the next two
+        // clean values both look like jumps against it.
+        assert_eq!(u.push_checked(100 | (1 << 23)), (0, false));
+        assert_eq!(u.push_checked(200), (0, true));
+        assert_eq!(u.push_checked(300), (0, true)); // adopts 300 as base
+        assert_eq!(u.push_checked(450), (150, false));
+    }
+
+    #[test]
+    fn checked_unwrap_still_handles_real_wraps() {
+        let mut u = TimeUnwrapper::new();
+        assert_eq!(u.push_checked(0xFF_FFF0), (0, false));
+        assert_eq!(u.push_checked(0x00_0005), (21, false)); // one wrap
+    }
+
+    #[test]
+    fn recovering_decode_drops_adjacent_duplicates() {
+        let tf = hwprof_tagfile::parse("f/100\n").unwrap();
+        let recs = [
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 100, time: 0 }, // stuck counter
+            RawRecord { tag: 101, time: 9 },
+        ];
+        let (_, ev, anoms) = decode_recovering(&recs, &tf);
+        assert_eq!(ev.len(), 2);
+        assert_eq!(anoms.duplicates, 1);
+        assert_eq!(anoms.time_jumps, 0);
+        // Non-adjacent repeats are real recursion, never dropped.
+        let recs2 = [
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 101, time: 5 },
+            RawRecord { tag: 100, time: 0 },
+        ];
+        let (_, ev2, anoms2) = decode_recovering(&recs2, &tf);
+        assert_eq!(ev2.len(), 3);
+        assert_eq!(anoms2.duplicates, 0);
     }
 
     #[test]

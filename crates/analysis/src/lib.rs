@@ -18,6 +18,7 @@
 //! thread of control and matching the resumed stack by its next
 //! unmatched exit.
 
+pub mod anomaly;
 pub mod events;
 pub mod graph;
 pub mod groups;
@@ -30,13 +31,15 @@ pub mod stream;
 pub mod trace;
 pub mod whatif;
 
+pub use anomaly::Anomalies;
 pub use events::{
-    decode, unwrap_times, EvKind, Event, SessionDecoder, SymId, Symbols, TagMap, TimeUnwrapper,
+    decode, decode_recovering, unwrap_times, EvKind, Event, SessionDecoder, SymId, Symbols, TagMap,
+    TimeUnwrapper, TIME_JUMP_THRESHOLD,
 };
 pub use recon::{
-    analyze, analyze_iter, analyze_parallel, analyze_sessions, reconstruct_session, FnAgg,
-    Reconstruction,
+    analyze, analyze_iter, analyze_parallel, analyze_sessions, reconstruct_session,
+    reconstruct_session_recovering, FnAgg, Reconstruction,
 };
 pub use report::summary_report;
-pub use stream::{BankFeed, RecordStream, StreamAnalyzer};
+pub use stream::{BankFeed, PipelineClosed, RecordStream, StreamAnalyzer};
 pub use trace::{trace_report, TraceStyle};

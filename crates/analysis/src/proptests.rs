@@ -278,8 +278,8 @@ proptest! {
             cuts.iter().map(|c| c % (records.len() + 1)).collect();
         bounds.sort_unstable();
         bounds.dedup();
-        let analyzer = StreamAnalyzer::new(&tf, workers);
-        let mut feed = analyzer.feed();
+        let mut analyzer = StreamAnalyzer::new(&tf, workers);
+        let mut feed = analyzer.feed().expect("pipeline open");
         let mut prev = 0;
         for p in bounds.into_iter().chain([records.len()]) {
             if p < prev {
@@ -289,7 +289,7 @@ proptest! {
             prev = p;
         }
         drop(feed);
-        let streamed = analyzer.finish();
+        let streamed = analyzer.finish().expect("first finish");
         let sessions = cut_sessions(&records, &map, &cuts);
         let batch = analyze_sessions(&syms, &sessions);
         prop_assert_eq!(streamed, batch);

@@ -10,6 +10,7 @@
 //! function exit (the resumed process must unwind through the function
 //! that called `swtch`).
 
+use crate::anomaly::Anomalies;
 use crate::events::{EvKind, Event, SymId, Symbols};
 
 /// Aggregate statistics for one function.
@@ -156,6 +157,10 @@ pub struct Reconstruction {
     pub edges: std::collections::HashMap<(SymId, SymId), u64>,
     /// Number of capture sessions analyzed.
     pub sessions: usize,
+    /// Classified anomaly summary (always populated from the counters
+    /// above plus any decode/upload-level anomalies folded in with
+    /// [`Reconstruction::note`]).
+    pub anomalies: Anomalies,
 }
 
 impl Reconstruction {
@@ -177,6 +182,7 @@ impl Reconstruction {
             trace: Vec::new(),
             edges: std::collections::HashMap::new(),
             sessions: 0,
+            anomalies: Anomalies::default(),
         }
     }
 
@@ -205,6 +211,14 @@ impl Reconstruction {
             *self.edges.entry(k).or_insert(0) += v;
         }
         self.sessions += other.sessions;
+        self.anomalies.merge(&other.anomalies);
+    }
+
+    /// Folds decode- or upload-level anomalies (duplicates, time jumps,
+    /// truncations — flagged before events reach reconstruction) into
+    /// the summary.
+    pub fn note(&mut self, a: &Anomalies) {
+        self.anomalies.merge(a);
     }
 
     /// Accumulated non-idle µs.
@@ -249,6 +263,8 @@ struct Recon {
     in_switch: bool,
     switch_start: u64,
     intr_in_switch: u64,
+    recover: bool,
+    forced_closes: u64,
     out: Reconstruction,
 }
 
@@ -289,7 +305,7 @@ fn identify_resume(events: &[Event], syms: &Symbols) -> ResumeId {
 }
 
 impl Recon {
-    fn new(syms: Symbols) -> Self {
+    fn new(syms: Symbols, recover: bool) -> Self {
         let n = syms.len();
         Recon {
             out: Reconstruction {
@@ -307,6 +323,7 @@ impl Recon {
                 trace: Vec::new(),
                 edges: std::collections::HashMap::new(),
                 sessions: 0,
+                anomalies: Anomalies::default(),
             },
             stats: vec![FnAgg::default(); n],
             trace: Vec::new(),
@@ -316,7 +333,19 @@ impl Recon {
             in_switch: false,
             switch_start: 0,
             intr_in_switch: 0,
+            recover,
+            forced_closes: 0,
         }
+    }
+
+    /// Pops the top frame without contributing to any statistic: its
+    /// exit was never seen, so its times are unknowable.  The trace
+    /// item stays unclosed and the parent's child-time accumulator is
+    /// untouched (the orphaned interval will be net time of whichever
+    /// ancestor does close cleanly).
+    fn force_close(&mut self) {
+        self.active.frames.pop().expect("caller checked");
+        self.forced_closes += 1;
     }
 
     fn push(&mut self, sym: SymId, t: u64, is_cswitch: bool) {
@@ -538,6 +567,31 @@ impl Recon {
                         .is_some_and(|f| f.sym == sym && !f.is_cswitch)
                     {
                         self.pop(ev.t);
+                    } else if self.recover {
+                        // Resynchronize: a dropped entry-or-exit leaves
+                        // the matching frame deeper on the stack (or
+                        // nowhere).  Search top-down — never across a
+                        // context-switch frame, which belongs to a
+                        // different control discontinuity — and
+                        // force-close the skipped frames.
+                        let mut found = None;
+                        for (fi, f) in self.active.frames.iter().enumerate().rev() {
+                            if f.is_cswitch {
+                                break;
+                            }
+                            if f.sym == sym {
+                                found = Some(fi);
+                                break;
+                            }
+                        }
+                        if let Some(fi) = found {
+                            while self.active.frames.len() > fi + 1 {
+                                self.force_close();
+                            }
+                            self.pop(ev.t);
+                        } else {
+                            self.out.unmatched_exits += 1;
+                        }
                     } else {
                         self.out.unmatched_exits += 1;
                     }
@@ -570,6 +624,9 @@ impl Recon {
     fn finish(mut self) -> Reconstruction {
         self.out.stats = self.stats;
         self.out.trace = self.trace;
+        self.out.anomalies.orphan_exits = self.out.unmatched_exits;
+        self.out.anomalies.unknown_tags = self.out.unknown_tags;
+        self.out.anomalies.unmatched_entries = self.forced_closes + self.out.open_at_end;
         self.out
     }
 }
@@ -586,7 +643,21 @@ enum Choice {
 /// threads; per-session results combine with
 /// [`Reconstruction::merge`].
 pub fn reconstruct_session(syms: &Symbols, events: &[Event]) -> Reconstruction {
-    let mut r = Recon::new(syms.clone());
+    let mut r = Recon::new(syms.clone(), false);
+    r.session(events);
+    r.finish()
+}
+
+/// Reconstructs a single capture session in recovery mode.
+///
+/// Where strict reconstruction counts a mismatched exit as an orphan
+/// and keeps going, recovery mode first tries to resynchronize: the
+/// stack is searched top-down (stopping at a context-switch frame) for
+/// a frame matching the exit, and any frames above it — entries whose
+/// exits were lost — are force-closed without contributing statistics.
+/// Every intervention lands in [`Reconstruction::anomalies`].
+pub fn reconstruct_session_recovering(syms: &Symbols, events: &[Event]) -> Reconstruction {
+    let mut r = Recon::new(syms.clone(), true);
     r.session(events);
     r.finish()
 }

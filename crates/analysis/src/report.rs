@@ -80,11 +80,13 @@ pub fn summary_report(r: &Reconstruction, top: Option<usize>) -> String {
             ));
         }
     }
-    if r.unmatched_exits + r.unknown_tags + r.open_at_end > 0 {
-        out.push_str(&format!(
-            "\n({} unmatched exits, {} unknown tags, {} frames open at end)\n",
-            r.unmatched_exits, r.unknown_tags, r.open_at_end
-        ));
+    if !r.anomalies.is_clean() {
+        out.push_str("\nCapture integrity:\n");
+        for line in r.anomalies.describe() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} total anomalies\n", r.anomalies.total()));
     }
     out
 }

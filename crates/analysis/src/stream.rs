@@ -21,7 +21,22 @@ use hwprof_profiler::{BankSink, RawRecord, RecordError};
 use hwprof_tagfile::TagFile;
 
 use crate::events::{SessionDecoder, Symbols, TagMap};
-use crate::recon::{reconstruct_session, Reconstruction};
+use crate::recon::{reconstruct_session, reconstruct_session_recovering, Reconstruction};
+
+/// The pipeline was already closed: [`StreamAnalyzer::feed`] or
+/// [`StreamAnalyzer::finish`] was called after `finish` consumed the
+/// feed.  A library error, never a panic (the analyzer runs inside the
+/// capture path where aborting loses the whole session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineClosed;
+
+impl std::fmt::Display for PipelineClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "streaming pipeline already closed by finish()")
+    }
+}
+
+impl std::error::Error for PipelineClosed {}
 
 /// An indexed bank in flight between the feed and a worker.
 type QueuedBank = (usize, Vec<RawRecord>);
@@ -67,6 +82,13 @@ impl RecordStream {
             })
         }
     }
+
+    /// Ends the stream tolerantly, returning how many trailing bytes
+    /// never completed a record (0 for a clean upload, 1-4 for one cut
+    /// mid-record — a truncation anomaly, not an error).
+    pub fn finish_lossy(self) -> usize {
+        self.pending.len()
+    }
 }
 
 /// Banks the feed queues ahead of the workers before refusing more.
@@ -79,6 +101,7 @@ pub const DEFAULT_BACKLOG: usize = 256;
 
 /// The board-facing end of the pipeline: assigns bank indices (bank
 /// order is session order) and queues banks for the workers.
+#[derive(Debug)]
 pub struct BankFeed {
     next: usize,
     tx: SyncSender<QueuedBank>,
@@ -110,16 +133,42 @@ pub struct StreamAnalyzer {
     queued: Arc<AtomicUsize>,
 }
 
+/// How a [`StreamAnalyzer`] treats malformed banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Clean decode + strict reconstruction (bit-identical to batch
+    /// [`crate::analyze_sessions`]).
+    Strict,
+    /// Recovery decode + resynchronizing reconstruction, anomalies
+    /// classified per bank (bit-identical to batch recovery analysis
+    /// over the same banks).
+    Recovering,
+}
+
 impl StreamAnalyzer {
     /// Spawns `workers` analysis threads against the build's tag file,
     /// with the default bank backlog.
     pub fn new(tf: &TagFile, workers: usize) -> Self {
-        Self::with_backlog(tf, workers, DEFAULT_BACKLOG)
+        Self::with_mode(tf, workers, DEFAULT_BACKLOG, Mode::Strict)
+    }
+
+    /// Spawns `workers` analysis threads in recovery mode: banks decode
+    /// tolerantly ([`SessionDecoder::push_recovering`]) and reconstruct
+    /// with resynchronization
+    /// ([`crate::recon::reconstruct_session_recovering`]), so corrupted
+    /// banks still yield times plus a classified
+    /// [`crate::Anomalies`] account.
+    pub fn recovering(tf: &TagFile, workers: usize) -> Self {
+        Self::with_mode(tf, workers, DEFAULT_BACKLOG, Mode::Recovering)
     }
 
     /// Spawns `workers` analysis threads; at most `backlog` banks wait
     /// in the queue before the feed refuses (and the board overflows).
     pub fn with_backlog(tf: &TagFile, workers: usize, backlog: usize) -> Self {
+        Self::with_mode(tf, workers, backlog, Mode::Strict)
+    }
+
+    fn with_mode(tf: &TagFile, workers: usize, backlog: usize, mode: Mode) -> Self {
         let map = Arc::new(TagMap::from_tagfile(tf));
         let syms = Symbols::from_tagfile(tf);
         let (tx, rx) = std::sync::mpsc::sync_channel(backlog.max(1));
@@ -148,8 +197,19 @@ impl StreamAnalyzer {
                             queued.fetch_sub(1, Ordering::Relaxed);
                             let mut decoder = SessionDecoder::new(&map);
                             let mut events = Vec::new();
-                            decoder.extend(&bank, &mut events);
-                            done.push((idx, reconstruct_session(&syms, &events)));
+                            let r = match mode {
+                                Mode::Strict => {
+                                    decoder.extend(&bank, &mut events);
+                                    reconstruct_session(&syms, &events)
+                                }
+                                Mode::Recovering => {
+                                    decoder.extend_recovering(&bank, &mut events);
+                                    let mut r = reconstruct_session_recovering(&syms, &events);
+                                    r.note(&decoder.anomalies());
+                                    r
+                                }
+                            };
+                            done.push((idx, r));
                         }
                         done
                     })
@@ -166,13 +226,18 @@ impl StreamAnalyzer {
 
     /// The feed to hand the board (its drain sink).  Bank order through
     /// one feed defines session order; use a single feed per capture.
-    pub fn feed(&self) -> BankFeed {
-        let tx = self.tx.as_ref().expect("feed() before finish()").clone();
-        BankFeed {
+    ///
+    /// Errors (never panics) if the pipeline was already closed by
+    /// [`finish`].
+    ///
+    /// [`finish`]: StreamAnalyzer::finish
+    pub fn feed(&self) -> Result<BankFeed, PipelineClosed> {
+        let tx = self.tx.as_ref().ok_or(PipelineClosed)?.clone();
+        Ok(BankFeed {
             next: 0,
             tx,
             queued: Arc::clone(&self.queued),
-        }
+        })
     }
 
     /// Banks queued and not yet claimed by a worker (backpressure
@@ -183,7 +248,13 @@ impl StreamAnalyzer {
 
     /// Closes the feed, waits for the workers to drain the queue, and
     /// merges the per-bank reconstructions in bank order.
-    pub fn finish(mut self) -> Reconstruction {
+    ///
+    /// Errors (never panics) if called a second time: the workers are
+    /// gone and the first call already returned the result.
+    pub fn finish(&mut self) -> Result<Reconstruction, PipelineClosed> {
+        if self.tx.is_none() {
+            return Err(PipelineClosed);
+        }
         drop(self.tx.take());
         let mut parts: Vec<(usize, Reconstruction)> = Vec::new();
         for handle in self.workers.drain(..) {
@@ -199,6 +270,75 @@ impl StreamAnalyzer {
         for (_, r) in parts {
             out.merge(r);
         }
-        out
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagfile() -> TagFile {
+        hwprof_tagfile::parse("a/100\nb/102\n").unwrap()
+    }
+
+    /// Regression: using the pipeline after `finish()` must be a
+    /// library error, never the old `expect("feed() before finish()")`
+    /// panic.
+    #[test]
+    fn pipeline_use_after_finish_is_an_error_not_a_panic() {
+        let mut analyzer = StreamAnalyzer::new(&tagfile(), 2);
+        let mut feed = analyzer.feed().expect("open pipeline hands out feeds");
+        assert!(feed.bank(vec![
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 101, time: 9 },
+        ]));
+        drop(feed);
+        let r = analyzer.finish().expect("first finish yields the result");
+        assert_eq!(r.agg("a").unwrap().calls, 1);
+        assert_eq!(analyzer.feed().unwrap_err(), PipelineClosed);
+        assert_eq!(analyzer.finish().unwrap_err(), PipelineClosed);
+        // Still closed on the third try; no state corruption.
+        assert_eq!(analyzer.feed().unwrap_err(), PipelineClosed);
+    }
+
+    /// Recovery-mode streaming classifies anomalies per bank and merges
+    /// them through the monoid.
+    #[test]
+    fn recovering_pipeline_counts_anomalies() {
+        let mut analyzer = StreamAnalyzer::recovering(&tagfile(), 2);
+        let mut feed = analyzer.feed().expect("open");
+        // Bank 0: a clean pair plus a stuck-counter duplicate.
+        assert!(feed.bank(vec![
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 101, time: 9 },
+        ]));
+        // Bank 1: a spurious garbage tag.
+        assert!(feed.bank(vec![
+            RawRecord { tag: 100, time: 20 },
+            RawRecord {
+                tag: 0x9999,
+                time: 25
+            },
+            RawRecord { tag: 101, time: 30 },
+        ]));
+        drop(feed);
+        let r = analyzer.finish().expect("first finish");
+        assert_eq!(r.agg("a").unwrap().calls, 2);
+        assert_eq!(r.anomalies.duplicates, 1);
+        assert_eq!(r.anomalies.unknown_tags, 1);
+        assert_eq!(r.sessions, 2);
+    }
+
+    #[test]
+    fn record_stream_finish_lossy_reports_trailing() {
+        let mut rs = RecordStream::new();
+        let mut out = Vec::new();
+        rs.push(&[1, 2, 3, 4, 5, 6, 7], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(rs.finish_lossy(), 2);
+        let rs2 = RecordStream::new();
+        assert_eq!(rs2.finish_lossy(), 0);
     }
 }

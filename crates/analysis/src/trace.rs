@@ -120,6 +120,12 @@ pub fn trace_report(r: &Reconstruction, style: &TraceStyle) -> String {
         out.push('\n');
         lines += 1;
     }
+    if !r.anomalies.is_clean() {
+        out.push_str(&format!(
+            "          ---- capture integrity: {} ----\n",
+            r.anomalies
+        ));
+    }
     out
 }
 

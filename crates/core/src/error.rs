@@ -1,5 +1,6 @@
 //! Errors an [`Experiment`](crate::Experiment) run can hit.
 
+use hwprof_analysis::PipelineClosed;
 use hwprof_instrument::LinkError;
 use hwprof_tagfile::TagFileError;
 
@@ -25,6 +26,18 @@ pub enum Error {
         /// Trigger reads lost after the board stopped.
         missed: u64,
     },
+    /// The capture's anomaly rate crossed the caller's threshold: the
+    /// upload is too corrupt for its numbers to be trusted.
+    CorruptUpload {
+        /// Classified anomalies the recovery pipeline counted.
+        anomalies: u64,
+        /// Hardware events in the capture.
+        tags: u64,
+        /// The caller's threshold, in anomalies per million tags.
+        limit_ppm: u32,
+    },
+    /// The streaming pipeline was used after `finish()` closed it.
+    PipelineClosed,
 }
 
 impl std::fmt::Display for Error {
@@ -38,6 +51,17 @@ impl std::fmt::Display for Error {
                 f,
                 "board overflowed mid-stream after {banks} banks ({missed} trigger reads lost)"
             ),
+            Error::CorruptUpload {
+                anomalies,
+                tags,
+                limit_ppm,
+            } => write!(
+                f,
+                "upload too corrupt to trust: {anomalies} anomalies in {tags} tags                  (limit {limit_ppm} per million)"
+            ),
+            Error::PipelineClosed => {
+                write!(f, "streaming pipeline already closed by finish()")
+            }
         }
     }
 }
@@ -61,5 +85,11 @@ impl From<TagFileError> for Error {
 impl From<LinkError> for Error {
     fn from(e: LinkError) -> Self {
         Error::Link(e)
+    }
+}
+
+impl From<PipelineClosed> for Error {
+    fn from(_: PipelineClosed) -> Self {
+        Error::PipelineClosed
     }
 }

@@ -15,7 +15,10 @@
 //!   analysis worker pool *while the workload is still running*, so a
 //!   capture is no longer bounded by the 16384-event RAM.
 
-use hwprof_analysis::{analyze_sessions, decode, Reconstruction, StreamAnalyzer};
+use hwprof_analysis::{
+    analyze_sessions, decode, decode_recovering, reconstruct_session_recovering, Anomalies,
+    Reconstruction, StreamAnalyzer,
+};
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
 use hwprof_kernel386::kernel::{Kernel, KernelConfig};
@@ -23,7 +26,10 @@ use hwprof_kernel386::sim::{Sim, SimBuilder};
 use hwprof_machine::machine::DEFAULT_EPROM_PHYS;
 use hwprof_machine::wire::RemoteHost;
 use hwprof_machine::CostModel;
-use hwprof_profiler::{BoardConfig, Profiler, RawRecord};
+use hwprof_profiler::{
+    parse_raw_lossy, serialize_raw, BoardConfig, FaultInjector, FaultSpec, InjectedFaults,
+    Profiler, RawRecord,
+};
 use hwprof_tagfile::TagFile;
 
 use crate::error::Error;
@@ -126,6 +132,8 @@ pub struct Experiment {
     board: BoardConfig,
     scenario: Option<Scenario>,
     armed: bool,
+    faults: Option<(FaultSpec, u64)>,
+    anomaly_limit_ppm: Option<u32>,
 }
 
 impl Default for Experiment {
@@ -144,6 +152,8 @@ impl Experiment {
             board: BoardConfig::default(),
             scenario: None,
             armed: true,
+            faults: None,
+            anomaly_limit_ppm: None,
         }
     }
 
@@ -193,6 +203,26 @@ impl Experiment {
     /// Leave the switch off (the board records nothing).
     pub fn unarmed(mut self) -> Self {
         self.armed = false;
+        self
+    }
+
+    /// Injects seeded faults into the capture/upload path
+    /// ([`hwprof_profiler::FaultSpec`]): the one-shot upload is
+    /// corrupted in transit, and streaming banks are corrupted (or
+    /// refused) on their way to the workers.  Analysis automatically
+    /// runs in recovery mode so every fault is classified in
+    /// [`Anomalies`] rather than corrupting the numbers silently.
+    pub fn faults(mut self, spec: FaultSpec, seed: u64) -> Self {
+        self.faults = Some((spec, seed));
+        self
+    }
+
+    /// Refuse the capture ([`Error::CorruptUpload`]) if classified
+    /// anomalies exceed `ppm` per million tags (streaming runs check at
+    /// [`Experiment::try_run_streaming`]; one-shot captures at
+    /// [`Capture::try_analyze`]).
+    pub fn anomaly_limit_ppm(mut self, ppm: u32) -> Self {
+        self.anomaly_limit_ppm = Some(ppm);
         self
     }
 
@@ -246,15 +276,33 @@ impl Experiment {
     /// simply stopped early, exactly like the hardware, and
     /// [`Capture::overflowed`] says so.
     pub fn try_run(self) -> Result<Capture, Error> {
+        let faults = self.faults;
+        let anomaly_limit_ppm = self.anomaly_limit_ppm;
         let p = self.prepare()?;
         let kernel = p.sim.run();
+        let mut records = p.board.records();
+        let mut injected = None;
+        let mut trailing_bytes = 0u64;
+        if let Some((spec, seed)) = faults {
+            // The upload leg: records corrupt in the carried RAM, then
+            // the byte stream itself can lose its tail.
+            let inj = FaultInjector::new(spec, seed);
+            let bytes = inj.corrupt_upload(serialize_raw(&inj.corrupt_records(&records)));
+            let (parsed, trailing) = parse_raw_lossy(&bytes);
+            records = parsed;
+            trailing_bytes = trailing as u64;
+            injected = Some(inj.counts());
+        }
         Ok(Capture {
-            records: p.board.records(),
+            records,
             overflowed: p.board.leds().overflow,
             missed: p.board.missed(),
             tagfile: p.tagfile,
             link: p.link,
             kernel,
+            injected,
+            trailing_bytes,
+            anomaly_limit_ppm,
         })
     }
 
@@ -284,9 +332,20 @@ impl Experiment {
     /// [`Error::BoardOverflow`] if the pipeline ever refused a bank and
     /// the board stopped storing.
     pub fn try_run_streaming(self, workers: usize) -> Result<StreamCapture, Error> {
+        let faults = self.faults;
+        let anomaly_limit_ppm = self.anomaly_limit_ppm;
         let p = self.prepare()?;
-        let analyzer = StreamAnalyzer::new(&p.tagfile, workers);
-        p.board.set_drain(Box::new(analyzer.feed()));
+        let injector = faults.map(|(spec, seed)| FaultInjector::new(spec, seed));
+        let mut analyzer = match injector {
+            Some(_) => StreamAnalyzer::recovering(&p.tagfile, workers),
+            None => StreamAnalyzer::new(&p.tagfile, workers),
+        };
+        let feed: Box<dyn hwprof_profiler::BankSink> = match &injector {
+            // Banks corrupt (or are refused) in transit to the workers.
+            Some(inj) => Box::new(inj.sink(Box::new(analyzer.feed()?))),
+            None => Box::new(analyzer.feed()?),
+        };
+        p.board.set_drain(feed);
         let kernel = p.sim.run();
         p.board.set_switch(false);
         // The operator pulls the last, partial RAM...
@@ -298,9 +357,12 @@ impl Experiment {
         drop(p.board.clear_drain());
         let banks = p.board.banks_drained();
         let missed = p.board.missed();
-        let profile = analyzer.finish();
+        let profile = analyzer.finish()?;
         if overflowed {
             return Err(Error::BoardOverflow { banks, missed });
+        }
+        if let Some(limit) = anomaly_limit_ppm {
+            check_anomaly_limit(&profile.anomalies, profile.tags as u64, limit)?;
         }
         Ok(StreamCapture {
             profile,
@@ -309,6 +371,7 @@ impl Experiment {
             tagfile: p.tagfile,
             link: p.link,
             kernel,
+            injected: injector.map(|inj| inj.counts()),
         })
     }
 
@@ -323,6 +386,20 @@ impl Experiment {
             Err(e) => panic!("streaming experiment failed: {e}"),
         }
     }
+}
+
+/// The trust gate shared by both capture modes: anomalies per million
+/// tags against the caller's limit.
+fn check_anomaly_limit(anomalies: &Anomalies, tags: u64, limit_ppm: u32) -> Result<(), Error> {
+    let total = anomalies.total();
+    if total * 1_000_000 > tags.max(1) * u64::from(limit_ppm) {
+        return Err(Error::CorruptUpload {
+            anomalies: total,
+            tags,
+            limit_ppm,
+        });
+    }
+    Ok(())
 }
 
 /// Everything `prepare` sets up before a run.
@@ -347,6 +424,14 @@ pub struct Capture {
     pub link: LinkResult,
     /// Final kernel state (ground truth, statistics).
     pub kernel: Kernel,
+    /// Fault totals, when the run injected faults
+    /// ([`Experiment::faults`]).
+    pub injected: Option<InjectedFaults>,
+    /// Upload bytes that never completed a 5-byte record (nonzero only
+    /// when fault injection truncated the stream).
+    pub trailing_bytes: u64,
+    /// Threshold carried from [`Experiment::anomaly_limit_ppm`].
+    anomaly_limit_ppm: Option<u32>,
 }
 
 impl Capture {
@@ -354,6 +439,34 @@ impl Capture {
     pub fn analyze(&self) -> Reconstruction {
         let (syms, events) = decode(&self.records, &self.tagfile);
         analyze_sessions(&syms, &[events])
+    }
+
+    /// Runs the analysis software in recovery mode: duplicates dropped,
+    /// corrupt timestamps clamped, mispaired frames resynchronized,
+    /// with every intervention classified in
+    /// [`Reconstruction::anomalies`].
+    pub fn analyze_recovering(&self) -> Reconstruction {
+        let (syms, events, decode_anoms) = decode_recovering(&self.records, &self.tagfile);
+        let mut r = reconstruct_session_recovering(&syms, &events);
+        r.note(&decode_anoms);
+        if self.trailing_bytes > 0 {
+            r.note(&Anomalies {
+                truncations: 1,
+                ..Anomalies::default()
+            });
+        }
+        r
+    }
+
+    /// Recovery-mode analysis with a trust gate: errors with
+    /// [`Error::CorruptUpload`] if classified anomalies exceed
+    /// `limit_ppm` per million tags (defaulting to the experiment's
+    /// [`Experiment::anomaly_limit_ppm`], else 1000000 — never refuse).
+    pub fn try_analyze(&self, limit_ppm: Option<u32>) -> Result<Reconstruction, Error> {
+        let r = self.analyze_recovering();
+        let limit = limit_ppm.or(self.anomaly_limit_ppm).unwrap_or(1_000_000);
+        check_anomaly_limit(&r.anomalies, r.tags as u64, limit)?;
+        Ok(r)
     }
 
     /// Analyzes several captures together (the paper's Figure 3 header
@@ -396,6 +509,9 @@ pub struct StreamCapture {
     pub link: LinkResult,
     /// Final kernel state (ground truth, statistics).
     pub kernel: Kernel,
+    /// Fault totals, when the run injected faults
+    /// ([`Experiment::faults`]).
+    pub injected: Option<InjectedFaults>,
 }
 
 impl StreamCapture {

@@ -44,6 +44,8 @@ pub mod scenarios;
 
 pub use error::Error;
 pub use experiment::{Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture};
+pub use hwprof_analysis::Anomalies;
+pub use hwprof_profiler::{FaultInjector, FaultSpec, InjectedFaults};
 
 // Re-export the component crates under one roof.
 pub use hwprof_analysis as analysis;

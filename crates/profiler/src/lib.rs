@@ -21,9 +21,11 @@
 //! harness keeps another to flip the switch and pull the data.
 
 mod board;
+mod faults;
 mod record;
 mod zif;
 
 pub use board::{BankSink, BoardConfig, Leds, Profiler};
-pub use record::{parse_raw, serialize_raw, RawRecord, RecordError, TIME_MASK};
+pub use faults::{FaultInjector, FaultSpec, FaultySink, InjectedFaults, SPURIOUS_TAG_BASE};
+pub use record::{parse_raw, parse_raw_lossy, serialize_raw, RawRecord, RecordError, TIME_MASK};
 pub use zif::{ram_chip_view, reassemble, RamChip};

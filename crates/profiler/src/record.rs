@@ -78,6 +78,21 @@ pub fn parse_raw(bytes: &[u8]) -> Result<Vec<RawRecord>, RecordError> {
         .collect())
 }
 
+/// Parses an uploaded RAM image, tolerating a truncated tail: every
+/// complete 5-byte record decodes, and the count of trailing bytes that
+/// never completed a record is returned alongside (0 for a clean
+/// upload, 1-4 for one cut mid-record).
+pub fn parse_raw_lossy(bytes: &[u8]) -> (Vec<RawRecord>, usize) {
+    let records = bytes
+        .chunks_exact(5)
+        .map(|c| RawRecord {
+            tag: u16::from_le_bytes([c[0], c[1]]),
+            time: u32::from_le_bytes([c[2], c[3], c[4], 0]),
+        })
+        .collect();
+    (records, bytes.len() % 5)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +116,16 @@ mod tests {
         let bytes = serialize_raw(&recs);
         assert_eq!(bytes.len(), 15);
         assert_eq!(parse_raw(&bytes).unwrap(), recs);
+    }
+
+    #[test]
+    fn lossy_parse_recovers_complete_records() {
+        let recs = vec![RawRecord::latch(502, 10), RawRecord::latch(503, 20)];
+        let mut bytes = serialize_raw(&recs);
+        assert_eq!(parse_raw_lossy(&bytes), (recs.clone(), 0));
+        bytes.truncate(bytes.len() - 2); // cut the last record short
+        assert_eq!(parse_raw_lossy(&bytes), (recs[..1].to_vec(), 3));
+        assert_eq!(parse_raw_lossy(&[]), (vec![], 0));
     }
 
     #[test]

@@ -289,17 +289,24 @@ pub mod prop {
 
 /// Number of cases each property runs (`PROPTEST_CASES` overrides).
 pub fn cases() -> usize {
+    cases_or(96)
+}
+
+/// Like [`cases`], with a caller-chosen default — the target of the
+/// `#![cases(N)]` block header in [`proptest!`].  `PROPTEST_CASES`
+/// still wins when set.
+pub fn cases_or(default: usize) -> usize {
     std::env::var("PROPTEST_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(96)
+        .unwrap_or(default)
 }
 
 /// Everything a property-test module imports.
 pub mod prelude {
     pub use crate::{
-        cases, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
-        TestCaseError, TestCaseResult, TestRng,
+        cases, cases_or, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Strategy, TestCaseError, TestCaseResult, TestRng,
     };
 }
 
@@ -380,13 +387,29 @@ macro_rules! prop_assume {
 
 /// Declares property tests: each `fn` runs its body over generated
 /// inputs, panicking on the first failing case.
+///
+/// An optional `#![cases(N)]` block header sets the per-property case
+/// count for the block (real proptest's `#![proptest_config(...)]`
+/// analogue); `PROPTEST_CASES` still overrides it.
 #[macro_export]
 macro_rules! proptest {
-    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+    (#![cases($n:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::cases_or($n), $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::cases(), $($rest)*);
+    };
+}
+
+/// Expansion target of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cases:expr, $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
         $(#[$meta])*
         fn $name() {
             let mut rng = $crate::TestRng::for_test(stringify!($name));
-            let cases = $crate::cases();
+            let cases = $cases;
             let mut ran = 0usize;
             let mut rejected = 0usize;
             while ran < cases {
@@ -427,6 +450,21 @@ mod tests {
             let first = cs.next().unwrap();
             assert!(first.is_ascii_lowercase() || first == '_');
             assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    proptest! {
+        #![cases(17)]
+        #[test]
+        fn cases_header_caps_iterations(x in 0u32..1000) {
+            // Counting via a thread-local: the block header must bound
+            // the number of accepted cases at 17 (unless the env var
+            // overrides, in which case this still just counts).
+            use std::cell::Cell;
+            thread_local!(static SEEN: Cell<usize> = const { Cell::new(0) });
+            SEEN.with(|s| s.set(s.get() + 1));
+            prop_assert!(SEEN.with(|s| s.get()) <= cases_or(17));
+            prop_assert!(x < 1000);
         }
     }
 
