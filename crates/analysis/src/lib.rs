@@ -27,6 +27,7 @@ pub mod hist;
 mod proptests;
 pub mod recon;
 pub mod report;
+pub mod stitch;
 pub mod stream;
 pub mod trace;
 pub mod whatif;
@@ -41,5 +42,9 @@ pub use recon::{
     reconstruct_session_recovering, FnAgg, Reconstruction,
 };
 pub use report::summary_report;
+pub use stitch::{
+    analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming, scale_factor,
+    scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,
+};
 pub use stream::{BankFeed, PipelineClosed, RecordStream, StreamAnalyzer};
 pub use trace::{trace_report, TraceStyle};

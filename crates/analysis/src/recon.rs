@@ -12,6 +12,7 @@
 
 use crate::anomaly::Anomalies;
 use crate::events::{EvKind, Event, SymId, Symbols};
+use hwprof_profiler::Coverage;
 
 /// Aggregate statistics for one function.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -161,6 +162,11 @@ pub struct Reconstruction {
     /// above plus any decode/upload-level anomalies folded in with
     /// [`Reconstruction::note`]).
     pub anomalies: Anomalies,
+    /// Timeline coverage of the capture(s) behind this reconstruction.
+    /// Zero (the merge identity) for plain captures; populated via
+    /// [`Reconstruction::note_coverage`] when sessions come from a
+    /// supervised run.  Merges field-wise like every other counter.
+    pub coverage: Coverage,
 }
 
 impl Reconstruction {
@@ -183,6 +189,7 @@ impl Reconstruction {
             edges: std::collections::HashMap::new(),
             sessions: 0,
             anomalies: Anomalies::default(),
+            coverage: Coverage::empty(),
         }
     }
 
@@ -212,6 +219,7 @@ impl Reconstruction {
         }
         self.sessions += other.sessions;
         self.anomalies.merge(&other.anomalies);
+        self.coverage.merge(&other.coverage);
     }
 
     /// Folds decode- or upload-level anomalies (duplicates, time jumps,
@@ -219,6 +227,13 @@ impl Reconstruction {
     /// the summary.
     pub fn note(&mut self, a: &Anomalies) {
         self.anomalies.merge(a);
+    }
+
+    /// Folds supervised-run coverage accounting (gaps, mask downgrades,
+    /// transport retries) into the result, exactly like
+    /// [`Reconstruction::note`] folds anomalies.
+    pub fn note_coverage(&mut self, c: &Coverage) {
+        self.coverage.merge(c);
     }
 
     /// Accumulated non-idle µs.
@@ -324,6 +339,7 @@ impl Recon {
                 edges: std::collections::HashMap::new(),
                 sessions: 0,
                 anomalies: Anomalies::default(),
+                coverage: Coverage::empty(),
             },
             stats: vec![FnAgg::default(); n],
             trace: Vec::new(),

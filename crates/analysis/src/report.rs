@@ -88,6 +88,15 @@ pub fn summary_report(r: &Reconstruction, top: Option<usize>) -> String {
         }
         out.push_str(&format!("{:>9} total anomalies\n", r.anomalies.total()));
     }
+    // Supervised captures carry timeline coverage accounting.
+    if r.coverage.timeline_us > 0 {
+        out.push_str("\nCoverage:\n");
+        for line in r.coverage.describe() {
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
     out
 }
 

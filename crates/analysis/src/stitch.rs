@@ -1,0 +1,307 @@
+//! Gap-aware stitching of supervised captures.
+//!
+//! A [`SupervisedRun`] is a sequence of per-bank capture sessions
+//! separated by explicit dark windows ([`Gap`]s).  Stitching joins
+//! those sessions into one timeline reconstruction:
+//!
+//! * each bank is one capture session, reconstructed in isolation and
+//!   merged in bank order through the [`Reconstruction`] monoid — so
+//!   nothing is charged during gaps (elapsed time is summed per
+//!   session, and gaps lie between sessions);
+//! * the run's [`Coverage`] accounting (gaps, mask downgrades, retry
+//!   totals) is folded in field-wise, and surfaces in the report's
+//!   "Coverage" block;
+//! * per-function statistics can be rescaled by per-mask-level
+//!   coverage: a function whose tags were masked at some ladder level
+//!   was only *observable* during the covered time at the levels that
+//!   admit it, so its whole-timeline rate is estimated by dividing by
+//!   the visible time, not the total time.  Masking is a pure filter
+//!   applied before the board — it removes events without disturbing
+//!   the rest of the stream — so under a steady workload the estimate
+//!   is unbiased.
+//!
+//! The three stitch flavours (sequential, parallel, streaming) are
+//! bit-identical by the same argument as the plain analysis paths:
+//! identical per-session work, associative merge, merge order fixed by
+//! bank index.
+
+use hwprof_profiler::{Coverage, SupervisedRun};
+use hwprof_tagfile::{TagFile, TagKind};
+
+use crate::events::{SessionDecoder, Symbols, TagMap};
+use crate::recon::{analyze_parallel, reconstruct_session, Reconstruction};
+use crate::stream::StreamAnalyzer;
+
+/// When a function's tags pass the EE-PAL, by ladder level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskVisibility {
+    /// Context-switch (`!`) tags: admitted at every level.
+    AllLevels,
+    /// Ordinary tags: admitted unless the ladder is at `SwitchOnly`.
+    UnlessSwitchOnly,
+    /// Hot-masked tags: admitted only at `All`.
+    AllOnly,
+}
+
+/// Decodes each delivered session of a supervised run into events —
+/// exactly as the streaming workers do (strict per-bank decode) — and
+/// returns them in bank order.
+pub fn stitch_events(tf: &TagFile, run: &SupervisedRun) -> (Symbols, Vec<Vec<crate::Event>>) {
+    let map = TagMap::from_tagfile(tf);
+    let syms = Symbols::from_tagfile(tf);
+    let sessions = run
+        .sessions
+        .iter()
+        .map(|s| {
+            let mut decoder = SessionDecoder::new(&map);
+            let mut events = Vec::new();
+            decoder.extend(&s.records, &mut events);
+            events
+        })
+        .collect();
+    (syms, sessions)
+}
+
+/// Stitches a supervised run sequentially: per-bank strict decode and
+/// reconstruction, merged in bank order, coverage folded in.
+pub fn analyze_stitched(tf: &TagFile, run: &SupervisedRun) -> Reconstruction {
+    let (syms, sessions) = stitch_events(tf, run);
+    let mut out = Reconstruction::empty(syms.clone());
+    for events in &sessions {
+        out.merge(reconstruct_session(&syms, events));
+    }
+    out.note_coverage(&run.coverage);
+    out
+}
+
+/// Stitches a supervised run with sessions fanned out across `workers`
+/// threads; bit-identical to [`analyze_stitched`].
+pub fn analyze_stitched_parallel(
+    tf: &TagFile,
+    run: &SupervisedRun,
+    workers: usize,
+) -> Reconstruction {
+    let (syms, sessions) = stitch_events(tf, run);
+    let mut out = analyze_parallel(&syms, &sessions, workers);
+    out.note_coverage(&run.coverage);
+    out
+}
+
+/// Stitches a supervised run through the streaming pipeline (each
+/// session fed as one bank); bit-identical to [`analyze_stitched`].
+///
+/// Returns `None` only if the pipeline misbehaves (it cannot here: the
+/// feed is created and dropped before `finish`).
+pub fn analyze_stitched_streaming(
+    tf: &TagFile,
+    run: &SupervisedRun,
+    workers: usize,
+) -> Option<Reconstruction> {
+    let mut analyzer = StreamAnalyzer::new(tf, workers);
+    {
+        let mut feed = analyzer.feed().ok()?;
+        for s in &run.sessions {
+            if !hwprof_profiler::BankSink::bank(&mut feed, s.records.clone()) {
+                return None;
+            }
+        }
+    }
+    let mut out = analyzer.finish().ok()?;
+    out.note_coverage(&run.coverage);
+    Some(out)
+}
+
+/// Classifies when `name`'s tags were visible during a supervised run.
+pub fn visibility(tf: &TagFile, run: &SupervisedRun, name: &str) -> Option<MaskVisibility> {
+    let entry = tf.entry_of(name)?;
+    if entry.kind == TagKind::ContextSwitch {
+        return Some(MaskVisibility::AllLevels);
+    }
+    if run.hot_tags.binary_search(&entry.tag).is_ok() {
+        return Some(MaskVisibility::AllOnly);
+    }
+    Some(MaskVisibility::UnlessSwitchOnly)
+}
+
+/// Covered microseconds during which tags of the given visibility class
+/// reached the board.
+pub fn visible_us(cov: &Coverage, vis: MaskVisibility) -> u64 {
+    match vis {
+        MaskVisibility::AllLevels => cov.covered_us,
+        MaskVisibility::UnlessSwitchOnly => cov.level_us[0] + cov.level_us[1],
+        MaskVisibility::AllOnly => cov.level_us[0],
+    }
+}
+
+/// The factor that extrapolates an observed per-function count to the
+/// whole timeline: timeline time over visible time.  `None` when the
+/// class was never visible (nothing to extrapolate from).
+pub fn scale_factor(cov: &Coverage, vis: MaskVisibility) -> Option<f64> {
+    let vis_us = visible_us(cov, vis);
+    if vis_us == 0 || cov.timeline_us == 0 {
+        None
+    } else {
+        Some(cov.timeline_us as f64 / vis_us as f64)
+    }
+}
+
+/// Estimated whole-timeline call count for `name`: observed calls
+/// scaled by the coverage of the mask levels that admitted its tags.
+/// `None` if the name is unknown or its class was never visible.
+pub fn scaled_calls(
+    tf: &TagFile,
+    run: &SupervisedRun,
+    r: &Reconstruction,
+    name: &str,
+) -> Option<f64> {
+    let vis = visibility(tf, run, name)?;
+    let factor = scale_factor(&r.coverage, vis)?;
+    let calls = r.agg(name)?.calls;
+    Some(calls as f64 * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwprof_machine::EpromTap;
+    use hwprof_profiler::{
+        BoardConfig, CaptureSupervisor, MemoryTransport, Profiler, RetryPolicy, SupervisorPolicy,
+        TagMask, TagMaskLevel,
+    };
+
+    const TF: &str = "a/500\nb/502\nswtch/200!\n";
+
+    fn supervised_fixture() -> (TagFile, SupervisedRun) {
+        let tf = hwprof_tagfile::parse(TF).expect("static tag file");
+        let board = Profiler::new(BoardConfig {
+            capacity: 8,
+            time_bits: 24,
+        });
+        let mask = TagMask::new([200u16]);
+        let policy = SupervisorPolicy {
+            drain_budget_us: 10,
+            ladder: false,
+            max_session_us: u64::MAX,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                base_backoff_us: 1,
+                max_backoff_us: 1,
+                jitter_ppm: 0,
+            },
+            ..SupervisorPolicy::default()
+        };
+        let mut sup = CaptureSupervisor::new(board, mask, policy, Box::new(MemoryTransport::new()));
+        // Nested a{b{}} call pairs with occasional switches, enough to
+        // roll through several banks.
+        let mut t = 1_000u64;
+        for i in 0..40u64 {
+            sup.on_read(500, t);
+            sup.on_read(502, t + 2);
+            sup.on_read(503, t + 5);
+            sup.on_read(501, t + 9);
+            if i % 5 == 4 {
+                sup.on_read(200, t + 11);
+                sup.on_read(201, t + 14);
+            }
+            t += 20;
+        }
+        (tf, sup.finish())
+    }
+
+    #[test]
+    fn stitched_charges_nothing_during_gaps() {
+        let (tf, run) = supervised_fixture();
+        assert!(run.sessions.len() > 1, "several banks");
+        assert!(!run.gaps.is_empty());
+        let r = analyze_stitched(&tf, &run);
+        // Elapsed is summed inside sessions only: it never exceeds the
+        // covered time.
+        assert!(r.total_elapsed <= run.coverage.covered_us);
+        assert_eq!(r.sessions, run.sessions.len());
+        assert_eq!(r.coverage, run.coverage);
+        assert!(r.agg("a").expect("known").calls > 0);
+    }
+
+    #[test]
+    fn three_stitch_paths_are_bit_identical() {
+        let (tf, run) = supervised_fixture();
+        let seq = analyze_stitched(&tf, &run);
+        for workers in [1, 2, 3] {
+            let par = analyze_stitched_parallel(&tf, &run, workers);
+            assert_eq!(seq, par, "parallel({workers}) diverged");
+            let streamed = analyze_stitched_streaming(&tf, &run, workers).expect("pipeline open");
+            assert_eq!(seq, streamed, "streaming({workers}) diverged");
+        }
+    }
+
+    #[test]
+    fn report_carries_coverage_block() {
+        let (tf, run) = supervised_fixture();
+        let r = analyze_stitched(&tf, &run);
+        let rep = crate::report::summary_report(&r, Some(5));
+        assert!(rep.contains("Coverage:"), "report:\n{rep}");
+        assert!(rep.contains("covered"));
+    }
+
+    #[test]
+    fn visibility_classes_and_scaling() {
+        let tf = hwprof_tagfile::parse(TF).expect("static tag file");
+        let run = SupervisedRun {
+            sessions: Vec::new(),
+            gaps: Vec::new(),
+            coverage: Coverage {
+                timeline_us: 100,
+                covered_us: 80,
+                gap_us: 20,
+                gaps: 1,
+                level_us: [40, 30, 10],
+                ..Coverage::empty()
+            },
+            final_level: TagMaskLevel::All,
+            hot_tags: vec![502, 503],
+        };
+        assert_eq!(
+            visibility(&tf, &run, "swtch"),
+            Some(MaskVisibility::AllLevels)
+        );
+        assert_eq!(
+            visibility(&tf, &run, "b"),
+            Some(MaskVisibility::AllOnly),
+            "b is in the hot set"
+        );
+        assert_eq!(
+            visibility(&tf, &run, "a"),
+            Some(MaskVisibility::UnlessSwitchOnly)
+        );
+        assert_eq!(visibility(&tf, &run, "nosuch"), None);
+        assert_eq!(visible_us(&run.coverage, MaskVisibility::AllLevels), 80);
+        assert_eq!(
+            visible_us(&run.coverage, MaskVisibility::UnlessSwitchOnly),
+            70
+        );
+        assert_eq!(visible_us(&run.coverage, MaskVisibility::AllOnly), 40);
+        let f = scale_factor(&run.coverage, MaskVisibility::AllOnly).expect("visible");
+        assert!((f - 2.5).abs() < 1e-9);
+        // Nothing visible -> no extrapolation.
+        let dark = Coverage {
+            timeline_us: 100,
+            gap_us: 100,
+            gaps: 1,
+            ..Coverage::empty()
+        };
+        assert_eq!(scale_factor(&dark, MaskVisibility::AllOnly), None);
+    }
+
+    #[test]
+    fn scaled_calls_extrapolates_masked_functions() {
+        let (tf, run) = supervised_fixture();
+        let r = analyze_stitched(&tf, &run);
+        // Ladder disabled: everything ran at All, so scaling inflates
+        // exactly by timeline/covered.
+        let a_calls = r.agg("a").expect("known").calls as f64;
+        let scaled = scaled_calls(&tf, &run, &r, "a").expect("visible");
+        let expect = a_calls * run.coverage.timeline_us as f64 / run.coverage.covered_us as f64;
+        assert!((scaled - expect).abs() < 1e-9);
+        assert!(scaled >= a_calls);
+    }
+}

@@ -16,7 +16,8 @@ fn bench_scenarios(c: &mut Criterion) {
                 .profile_modules(&["net", "locore", "kern", "sys"])
                 .board(BoardConfig::wide())
                 .scenario(scenarios::network_receive(64 * 1024, true))
-                .run()
+                .try_run()
+                .expect("experiment runs")
         });
     });
     g.bench_function("forkexec_cycle_profiled", |b| {
@@ -25,7 +26,8 @@ fn bench_scenarios(c: &mut Criterion) {
                 .profile_modules(&["vm", "kern", "sys", "locore"])
                 .board(BoardConfig::wide())
                 .scenario(scenarios::forkexec_loop(1))
-                .run()
+                .try_run()
+                .expect("experiment runs")
         });
     });
     g.bench_function("clock_idle_1s_unprofiled", |b| {
@@ -34,7 +36,8 @@ fn bench_scenarios(c: &mut Criterion) {
                 .profile_none()
                 .unarmed()
                 .scenario(scenarios::clock_idle(100))
-                .run()
+                .try_run()
+                .expect("experiment runs")
         });
     });
     g.finish();

@@ -30,7 +30,8 @@ fn run(clock_hz: u64, sample: bool) -> hwprof::Capture {
             ..KernelConfig::default()
         })
         .scenario(scenario)
-        .run()
+        .try_run()
+        .expect("experiment runs")
 }
 
 fn main() {

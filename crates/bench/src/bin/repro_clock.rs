@@ -15,7 +15,8 @@ fn main() {
         .profile_all()
         .board(BoardConfig::wide())
         .scenario(scenarios::clock_idle(300))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let isa = r.agg("ISAINTR").expect("ISAINTR profiled");
     let tick = isa.elapsed / isa.calls.max(1);
@@ -51,7 +52,8 @@ fn main() {
         .profile_modules(&["net", "locore", "kern", "sys"])
         .board(BoardConfig::wide())
         .scenario(scenarios::network_receive(180 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let rn = net.analyze();
     let spl: f64 = ["splnet", "splx", "spl0", "splhigh", "splimp"]
         .iter()

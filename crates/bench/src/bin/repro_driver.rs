@@ -14,7 +14,8 @@ fn throughput(word_copy: bool) -> (f64, u64) {
             ..KernelConfig::default()
         })
         .scenario(scenarios::network_receive(150 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let k = &capture.kernel;
     let bytes = k.net.pcbs.first().map_or(0, |p| u64::from(p.tcb.rcv_nxt));
     let busy_us = (k.machine.now - k.sched.idle_cycles) / 40;

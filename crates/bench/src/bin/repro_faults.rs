@@ -25,7 +25,8 @@ fn main() {
     let capture = Experiment::new()
         .profile_modules(&["net", "locore", "kern"])
         .scenario(scenarios::network_receive(48 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let clean_bytes = serialize_raw(&capture.records);
     let analyze = |bytes: &[u8]| -> Reconstruction {
         let (records, trailing) = parse_raw_lossy(bytes);

@@ -24,7 +24,8 @@ fn main() {
             .config(config)
             .board(BoardConfig::wide())
             .scenario(network_receive(420 * 1024, true))
-            .run()
+            .try_run()
+            .expect("experiment runs")
     };
     let a = run(1);
     let b = run(2);

@@ -15,7 +15,8 @@ fn main() {
         .profile_all()
         .board(BoardConfig::wide())
         .scenario(scenarios::single_packet_trace())
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let trace = trace_report(&r, &TraceStyle::default());
     // Find and print the window around the first weintr.

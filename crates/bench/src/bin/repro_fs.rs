@@ -13,7 +13,8 @@ fn main() {
         .profile_modules(&["fs", "locore", "kern", "sys"])
         .board(BoardConfig::wide())
         .scenario(scenarios::fs_writer(160))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let rw = w.analyze();
     let wdintr = rw.agg("wdintr").expect("wdintr profiled");
     let per = wdintr.elapsed / wdintr.calls.max(1);
@@ -48,7 +49,8 @@ fn main() {
         .profile_modules(&["fs"])
         .board(BoardConfig::wide())
         .scenario(scenarios::fs_scattered_reads(36))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let rr = r.analyze();
     // The second pass rereads the file cold (the cache was invalidated),
     // so every bread is a real disk read.

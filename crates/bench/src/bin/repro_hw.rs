@@ -16,7 +16,8 @@ fn main() {
         .profile_all()
         .board(BoardConfig::default())
         .scenario(scenarios::network_receive(300 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     row(
         "overflow LED lit, capture stopped",
         "yes",
@@ -64,7 +65,8 @@ fn main() {
     let capture2 = Experiment::new()
         .profile_modules(&["sys"])
         .scenario(quiet)
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r2 = capture2.analyze();
     let actual_us = capture2.kernel.now_us();
     let wrap = 1u64 << 24;

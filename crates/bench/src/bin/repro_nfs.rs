@@ -13,12 +13,14 @@ fn main() {
         .profile_modules(&["net", "locore"])
         .board(BoardConfig::wide())
         .scenario(scenarios::nfs_stream(total))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let tcp = Experiment::new()
         .profile_modules(&["net", "locore"])
         .board(BoardConfig::wide())
         .scenario(scenarios::network_receive(total as u64, false))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let busy = |c: &hwprof::Capture| (c.kernel.machine.now - c.kernel.sched.idle_cycles) / 40;
     let nfs_busy = busy(&nfs);
     let tcp_busy = busy(&tcp);

@@ -12,7 +12,10 @@ fn busy_cycles(instrument: bool) -> (u64, u64, u32) {
     } else {
         Experiment::new().profile_none().unarmed()
     };
-    let c = e.scenario(scenarios::forkexec_loop(4)).run();
+    let c = e
+        .scenario(scenarios::forkexec_loop(4))
+        .try_run()
+        .expect("experiment runs");
     (
         c.kernel.machine.now - c.kernel.sched.idle_cycles,
         c.kernel.stats.page_faults,

@@ -59,7 +59,8 @@ fn main() {
             time_bits: 24,
         })
         .scenario(scenarios::network_receive(total, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let map = TagMap::from_tagfile(&capture.tagfile);
     let syms = Symbols::from_tagfile(&capture.tagfile);
     let sessions: Vec<Vec<Event>> = capture

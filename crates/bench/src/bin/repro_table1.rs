@@ -10,7 +10,8 @@ fn main() {
         .profile_all()
         .board(BoardConfig::wide())
         .scenario(scenarios::mixed(8))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     println!();
     // (name, paper value, accepted band).

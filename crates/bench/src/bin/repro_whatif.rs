@@ -12,7 +12,8 @@ fn measure(config: KernelConfig) -> u64 {
         .profile_modules(&["net", "locore"])
         .config(config)
         .scenario(scenarios::network_receive(150 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let packets = u64::from(capture.kernel.net.pcbs[0].tcb.rcv_nxt) / 1024;
     r.run_time() / packets.max(1)

@@ -38,6 +38,23 @@ pub enum Error {
     },
     /// The streaming pipeline was used after `finish()` closed it.
     PipelineClosed,
+    /// A supervised capture delivered nothing: the upload transport
+    /// stayed down and every captured bank was lost.
+    TransportFailed {
+        /// Captured banks lost (spill shelf exhausted, retries spent).
+        banks_lost: u64,
+        /// Individual upload attempts that failed.
+        failures: u64,
+    },
+    /// A supervised capture finished below the policy's minimum
+    /// timeline coverage.
+    CoverageTooLow {
+        /// Covered fraction achieved, in parts per million.
+        achieved_ppm: u32,
+        /// The policy's floor
+        /// ([`SupervisorPolicy::min_coverage_ppm`](hwprof_profiler::SupervisorPolicy)).
+        required_ppm: u32,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -62,6 +79,22 @@ impl std::fmt::Display for Error {
             Error::PipelineClosed => {
                 write!(f, "streaming pipeline already closed by finish()")
             }
+            Error::TransportFailed {
+                banks_lost,
+                failures,
+            } => write!(
+                f,
+                "upload transport never recovered: {banks_lost} banks lost across {failures} failed attempts"
+            ),
+            Error::CoverageTooLow {
+                achieved_ppm,
+                required_ppm,
+            } => write!(
+                f,
+                "supervised capture covered only {:.2}% of the timeline (policy floor {:.2}%)",
+                *achieved_ppm as f64 / 10_000.0,
+                *required_ppm as f64 / 10_000.0
+            ),
         }
     }
 }

@@ -16,8 +16,8 @@
 //!   capture is no longer bounded by the 16384-event RAM.
 
 use hwprof_analysis::{
-    analyze_sessions, decode, decode_recovering, reconstruct_session_recovering, Anomalies,
-    Reconstruction, StreamAnalyzer,
+    analyze_sessions, analyze_stitched, decode, decode_recovering, reconstruct_session_recovering,
+    Anomalies, Reconstruction, StreamAnalyzer,
 };
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
@@ -25,12 +25,13 @@ use hwprof_kernel386::kernel::{Kernel, KernelConfig};
 use hwprof_kernel386::sim::{Sim, SimBuilder};
 use hwprof_machine::machine::DEFAULT_EPROM_PHYS;
 use hwprof_machine::wire::RemoteHost;
-use hwprof_machine::CostModel;
+use hwprof_machine::{CostModel, EpromTap};
 use hwprof_profiler::{
-    parse_raw_lossy, serialize_raw, BoardConfig, FaultInjector, FaultSpec, InjectedFaults,
-    Profiler, RawRecord,
+    parse_raw_lossy, serialize_raw, BoardConfig, CaptureSupervisor, Coverage, FaultInjector,
+    FaultSpec, FlakyTransport, InjectedFaults, MemoryTransport, Profiler, RawRecord, SupervisedRun,
+    SupervisorPolicy, TagMask, Transport,
 };
-use hwprof_tagfile::TagFile;
+use hwprof_tagfile::{TagFile, TagKind};
 
 use crate::error::Error;
 
@@ -229,6 +230,17 @@ impl Experiment {
     /// Compiles, links, plugs the board in and spawns the scenario's
     /// processes; shared by both capture modes.
     fn prepare(self) -> Result<PreparedRun, Error> {
+        self.prepare_with_tap(|board, _| Box::new(board.clone()))
+    }
+
+    /// [`prepare`](Experiment::prepare) with a custom EPROM-socket tap:
+    /// `make_tap` receives the freshly built board and the build's tag
+    /// file and returns whatever sits on the socket (the bare board for
+    /// plain captures, a [`CaptureSupervisor`] for supervised ones).
+    fn prepare_with_tap(
+        self,
+        make_tap: impl FnOnce(&Profiler, &TagFile) -> Box<dyn EpromTap>,
+    ) -> Result<PreparedRun, Error> {
         let scenario = self.scenario.ok_or(Error::MissingScenario)?;
         // The modified compiler pass; swtch is always tagged.
         let mut compiler = Compiler::new(500);
@@ -244,11 +256,12 @@ impl Experiment {
         if self.armed {
             board.set_switch(true);
         }
+        let tap = make_tap(&board, &tagfile);
         let mut builder = SimBuilder::new()
             .cost(self.cost)
             .config(self.config)
             .image(image)
-            .profiler(Box::new(board.clone()));
+            .profiler(tap);
         if let Some(host) = scenario.host {
             builder = builder.ether(host);
         }
@@ -306,17 +319,21 @@ impl Experiment {
         })
     }
 
-    /// Builds, links, runs and uploads.
+    /// Builds, links, runs and uploads — the legacy panicking entry
+    /// point, kept only for old callers.
+    ///
+    /// This is a thin wrapper over [`Experiment::try_run`]: the run
+    /// itself returns `Result` internally, and the *only* place an
+    /// experiment error turns into a panic is right here.  New code
+    /// (and anything that can hit supervised/transport errors) should
+    /// call `try_run` and handle [`Error`].
     ///
     /// # Panics
     ///
-    /// Panics on any [`Error`]; use [`Experiment::try_run`] to handle
-    /// them.
+    /// Panics on any [`Error`].
+    #[deprecated(note = "legacy panicking entry point; use try_run and handle hwprof::Error")]
     pub fn run(self) -> Capture {
-        match self.try_run() {
-            Ok(c) => c,
-            Err(e) => panic!("experiment failed: {e}"),
-        }
+        legacy_unwrap(self.try_run())
     }
 
     /// Drain-while-armed capture: the board streams full half-RAM banks
@@ -376,15 +393,116 @@ impl Experiment {
     }
 
     /// Drain-while-armed capture; see [`Experiment::try_run_streaming`].
+    /// The legacy panicking entry point, a thin wrapper like
+    /// [`Experiment::run`]; errors become panics only here.
     ///
     /// # Panics
     ///
     /// Panics on any [`Error`].
+    #[deprecated(
+        note = "legacy panicking entry point; use try_run_streaming and handle hwprof::Error"
+    )]
     pub fn run_streaming(self, workers: usize) -> StreamCapture {
-        match self.try_run_streaming(workers) {
-            Ok(c) => c,
-            Err(e) => panic!("streaming experiment failed: {e}"),
+        legacy_unwrap(self.try_run_streaming(workers))
+    }
+
+    /// Supervised capture: a [`CaptureSupervisor`] wraps the board and
+    /// drives the run to completion instead of dying on the first
+    /// overflow — full banks are pulled, uploaded (with retry, backoff
+    /// and a circuit breaker over the policy's seeded transport) and the
+    /// board re-armed, each swap leaving an explicit coverage gap; under
+    /// sustained overload the EE-PAL tag mask steps down its ladder and
+    /// back up when pressure subsides.  The per-bank sessions are
+    /// stitched into one timeline reconstruction
+    /// ([`hwprof_analysis::analyze_stitched`]) whose report carries a
+    /// "Coverage" block.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Experiment::try_run`] reports, plus
+    /// [`Error::TransportFailed`] when every captured bank was lost and
+    /// [`Error::CoverageTooLow`] when the covered fraction ends below
+    /// [`SupervisorPolicy::min_coverage_ppm`].
+    pub fn supervised(self, policy: SupervisorPolicy) -> Result<SupervisedCapture, Error> {
+        let transport: Box<dyn Transport> = Box::new(FlakyTransport::new(
+            MemoryTransport::new(),
+            policy.transport_fail_ppm,
+            policy.seed,
+        ));
+        self.supervised_with(policy, transport)
+    }
+
+    /// [`Experiment::supervised`] with a caller-supplied [`Transport`]
+    /// (e.g. a channel into a live pipeline, or a transport with a
+    /// scripted outage).
+    pub fn supervised_with(
+        mut self,
+        policy: SupervisorPolicy,
+        transport: Box<dyn Transport>,
+    ) -> Result<SupervisedCapture, Error> {
+        // The supervisor owns the arm switch; the board starts off.
+        self.armed = false;
+        let mut supervisor: Option<CaptureSupervisor> = None;
+        let sup_slot = &mut supervisor;
+        let pol = policy.clone();
+        let p = self.prepare_with_tap(move |board, tagfile| {
+            // The EE-PAL decode for this build: context-switch tags
+            // always pass; pinned hot functions resolve by name.
+            let cswitch = tagfile
+                .entries()
+                .iter()
+                .filter(|e| e.kind == TagKind::ContextSwitch)
+                .map(|e| e.tag);
+            let mut mask = TagMask::new(cswitch);
+            if !pol.hot_functions.is_empty() {
+                mask.set_hot(
+                    pol.hot_functions
+                        .iter()
+                        .filter_map(|name| tagfile.tag_of(name)),
+                );
+            }
+            let sup = CaptureSupervisor::new(board.clone(), mask, pol, transport);
+            *sup_slot = Some(sup.clone());
+            Box::new(sup)
+        })?;
+        let sup = supervisor.expect("prepare ran the tap closure");
+        let kernel = p.sim.run();
+        let run = sup.finish();
+        let cov = run.coverage;
+        if run.sessions.is_empty() && cov.banks_lost > 0 {
+            return Err(Error::TransportFailed {
+                banks_lost: cov.banks_lost,
+                failures: cov.transport_failures,
+            });
         }
+        if policy.min_coverage_ppm > 0 && cov.timeline_us > 0 {
+            let achieved_ppm = (cov.covered_us.saturating_mul(1_000_000) / cov.timeline_us) as u32;
+            if achieved_ppm < policy.min_coverage_ppm {
+                return Err(Error::CoverageTooLow {
+                    achieved_ppm,
+                    required_ppm: policy.min_coverage_ppm,
+                });
+            }
+        }
+        let profile = analyze_stitched(&p.tagfile, &run);
+        Ok(SupervisedCapture {
+            run,
+            profile,
+            tagfile: p.tagfile,
+            link: p.link,
+            kernel,
+        })
+    }
+}
+
+/// The single documented place experiment errors become panics: the
+/// deprecated legacy entry points ([`Experiment::run`],
+/// [`Experiment::run_streaming`]) funnel through here.
+#[track_caller]
+fn legacy_unwrap<T>(result: Result<T, Error>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("experiment failed: {e}"),
     }
 }
 
@@ -515,6 +633,37 @@ pub struct StreamCapture {
 }
 
 impl StreamCapture {
+    /// Fraction of wall time the CPU was busy (from the scheduler, not
+    /// the capture).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.kernel.machine.now.max(1);
+        1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
+    }
+}
+
+/// What a supervised run produced: the delivered per-bank sessions with
+/// their gap/downgrade bookkeeping, plus the stitched reconstruction.
+pub struct SupervisedCapture {
+    /// The supervised run itself: delivered sessions, explicit gaps,
+    /// final ladder level and the full [`Coverage`] ledger.
+    pub run: SupervisedRun,
+    /// The gap-aware stitched reconstruction (coverage folded in, so
+    /// [`hwprof_analysis::summary_report`] prints the Coverage block).
+    pub profile: Reconstruction,
+    /// The name/tag file of this build.
+    pub tagfile: TagFile,
+    /// The resolved two-stage link.
+    pub link: LinkResult,
+    /// Final kernel state (ground truth, statistics).
+    pub kernel: Kernel,
+}
+
+impl SupervisedCapture {
+    /// The run's coverage ledger.
+    pub fn coverage(&self) -> &Coverage {
+        &self.run.coverage
+    }
+
     /// Fraction of wall time the CPU was busy (from the scheduler, not
     /// the capture).
     pub fn busy_fraction(&self) -> f64 {

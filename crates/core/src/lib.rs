@@ -43,9 +43,14 @@ pub mod experiment;
 pub mod scenarios;
 
 pub use error::Error;
-pub use experiment::{Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture};
+pub use experiment::{
+    Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture, SupervisedCapture,
+};
 pub use hwprof_analysis::Anomalies;
-pub use hwprof_profiler::{FaultInjector, FaultSpec, InjectedFaults};
+pub use hwprof_profiler::{
+    Coverage, FaultInjector, FaultSpec, FlakyTransport, InjectedFaults, MemoryTransport,
+    RetryPolicy, SupervisorPolicy, TagMaskLevel, Transport,
+};
 
 // Re-export the component crates under one roof.
 pub use hwprof_analysis as analysis;

@@ -76,6 +76,39 @@ impl BankSink for std::sync::mpsc::SyncSender<Vec<RawRecord>> {
     }
 }
 
+/// A cheap point-in-time snapshot of the board: fill level, missed
+/// triggers, and control state, read under one lock acquisition.
+///
+/// This is what a supervising operator can observe without disturbing
+/// the capture — the LEDs plus the counters the SmartSocket exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardHealth {
+    /// Events currently in the capture RAM.
+    pub stored: usize,
+    /// Configured RAM depth in events.
+    pub capacity: usize,
+    /// Trigger reads that arrived while the board was not storing
+    /// (switch off or overflowed).
+    pub missed_while_off: u64,
+    /// The arm switch position.
+    pub armed: bool,
+    /// The overflow LED.
+    pub overflowed: bool,
+    /// Banks handed to a drain sink so far.
+    pub banks_drained: u64,
+}
+
+impl BoardHealth {
+    /// Fill level as a fraction of capacity.
+    pub fn fill(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.stored as f64 / self.capacity as f64
+        }
+    }
+}
+
 /// The two indicator LEDs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Leds {
@@ -202,6 +235,20 @@ impl Profiler {
     /// Trigger reads that arrived while the board was not storing.
     pub fn missed(&self) -> u64 {
         self.state.lock().missed
+    }
+
+    /// Snapshots fill level, missed count and control state in one lock
+    /// acquisition — the supervisor's per-trigger observation.
+    pub fn health(&self) -> BoardHealth {
+        let s = self.state.lock();
+        BoardHealth {
+            stored: s.ram.len(),
+            capacity: s.config.capacity,
+            missed_while_off: s.missed,
+            armed: s.armed,
+            overflowed: s.overflowed,
+            banks_drained: s.banks_drained,
+        }
     }
 
     /// Switches on drain-while-armed mode: the capture RAM becomes a
@@ -454,7 +501,38 @@ mod tests {
         b.on_read(503, 150);
         let raw = b.dump_raw();
         assert_eq!(raw.len(), 10);
-        let parsed = crate::record::parse_raw(&raw).unwrap();
+        let (parsed, trailing) = crate::record::parse_raw_lossy(&raw);
+        assert_eq!(trailing, 0, "a board dump is always record-aligned");
         assert_eq!(parsed, b.records());
+    }
+
+    #[test]
+    fn health_snapshot_tracks_fill_and_misses() {
+        let mut b = Profiler::new(BoardConfig {
+            capacity: 4,
+            time_bits: 24,
+        });
+        let h = b.health();
+        assert_eq!(h.stored, 0);
+        assert_eq!(h.capacity, 4);
+        assert!(!h.armed);
+        assert!((h.fill() - 0.0).abs() < f64::EPSILON);
+        b.on_read(1, 5); // switch off: missed
+        b.set_switch(true);
+        b.on_read(1, 6);
+        b.on_read(2, 7);
+        let h = b.health();
+        assert_eq!(h.stored, 2);
+        assert_eq!(h.missed_while_off, 1);
+        assert!(h.armed);
+        assert!(!h.overflowed);
+        assert!((h.fill() - 0.5).abs() < f64::EPSILON);
+        for i in 0..5u64 {
+            b.on_read(3, 10 + i);
+        }
+        let h = b.health();
+        assert!(h.overflowed);
+        assert_eq!(h.stored, 4);
+        assert!(h.missed_while_off > 1);
     }
 }

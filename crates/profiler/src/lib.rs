@@ -23,9 +23,15 @@
 mod board;
 mod faults;
 mod record;
+mod supervisor;
 mod zif;
 
-pub use board::{BankSink, BoardConfig, Leds, Profiler};
+pub use board::{BankSink, BoardConfig, BoardHealth, Leds, Profiler};
 pub use faults::{FaultInjector, FaultSpec, FaultySink, InjectedFaults, SPURIOUS_TAG_BASE};
 pub use record::{parse_raw, parse_raw_lossy, serialize_raw, RawRecord, RecordError, TIME_MASK};
+pub use supervisor::{
+    CaptureSupervisor, Coverage, FlakyTransport, Gap, GapCause, MemoryTransport, RetryPolicy,
+    SupervisedRun, SupervisedSession, SupervisorPolicy, TagMask, TagMaskLevel, Transport,
+    TransportError,
+};
 pub use zif::{ram_chip_view, reassemble, RamChip};

@@ -16,7 +16,8 @@ fn main() {
         .profile_modules(&["vm", "kern", "sys", "locore"])
         .board(BoardConfig::wide())
         .scenario(scenarios::forkexec_loop(4))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     println!("{}", summary_report(&r, Some(12)));
 

@@ -14,7 +14,8 @@ fn packet_us(config: KernelConfig) -> (f64, u64) {
         .profile_modules(&["net", "locore"])
         .config(config)
         .scenario(scenarios::network_receive(160 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let packets = capture.kernel.net.pcbs[0].tcb.rcv_nxt as u64 / 1024;
     let us_per_packet = r.run_time() as f64 / packets.max(1) as f64;

@@ -15,7 +15,8 @@ fn main() {
     let capture = Experiment::new()
         .profile_modules(&["net", "locore", "kern", "sys"])
         .scenario(scenarios::network_receive(128 * 1024, false))
-        .run();
+        .try_run()
+        .expect("experiment runs");
 
     println!(
         "Board: {} events captured, overflow LED {}",

@@ -63,7 +63,8 @@ fn main() {
     let capture = Experiment::new()
         .profile_modules(&["kern", "sys", "dev", "locore"])
         .scenario(scenario)
-        .run();
+        .try_run()
+        .expect("experiment runs");
 
     // Concatenate the kernel's name/tag file with the application's —
     // "Multiple name/tag files may exist, and may be concatenated".

@@ -16,7 +16,8 @@ fn fig3_network_summary_shape() {
         .profile_modules(&["net", "locore", "kern", "sys"])
         .board(BoardConfig::wide())
         .scenario(scenarios::network_receive(200 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let busy = r.run_time() as f64 / r.total_elapsed.max(1) as f64;
     assert!(busy > 0.90, "CPU busy {busy:.2}");
@@ -44,7 +45,8 @@ fn fig5_forkexec_shape() {
         .profile_modules(&["vm", "kern", "sys", "locore"])
         .board(BoardConfig::wide())
         .scenario(scenarios::forkexec_loop(3))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let pte = r.agg("pmap_pte").expect("pmap_pte profiled");
     let forks = r.agg("fork1").expect("fork1").calls;
@@ -87,7 +89,8 @@ fn clock_tick_costs_shape() {
     let capture = Experiment::new()
         .profile_modules(&["kern", "locore"])
         .scenario(scenarios::clock_idle(100))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let isa = r.agg("ISAINTR").expect("ISAINTR profiled");
     let tick_us = isa.elapsed / isa.calls.max(1);
@@ -109,7 +112,8 @@ fn fs_write_shape() {
         .profile_modules(&["fs", "locore", "kern", "sys"])
         .board(BoardConfig::wide())
         .scenario(scenarios::fs_writer(120))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let wdintr = r.agg("wdintr").expect("wdintr profiled");
     let per_intr = wdintr.elapsed / wdintr.calls.max(1);
@@ -134,12 +138,14 @@ fn nfs_beats_ftp_shape() {
         .profile_modules(&["net", "locore"])
         .board(BoardConfig::wide())
         .scenario(scenarios::nfs_stream(total))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let tcp = Experiment::new()
         .profile_modules(&["net", "locore"])
         .board(BoardConfig::wide())
         .scenario(scenarios::network_receive(total as u64, false))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let cpu_per_byte = |c: &hwprof::Capture| {
         (c.kernel.machine.now - c.kernel.sched.idle_cycles) as f64 / total as f64
     };
@@ -170,7 +176,8 @@ fn driver_recode_shape() {
                 ..KernelConfig::default()
             })
             .scenario(scenarios::network_receive(128 * 1024, true))
-            .run();
+            .try_run()
+            .expect("experiment runs");
         let k = &capture.kernel;
         let bytes = k.net.pcbs.first().map_or(0, |p| p.tcb.rcv_nxt as u64);
         let busy_us = (k.machine.now - k.sched.idle_cycles) / 40;

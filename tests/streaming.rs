@@ -48,7 +48,8 @@ fn streaming_drain_captures_beyond_the_ram() {
             time_bits: 24,
         })
         .scenario(scenarios::network_receive(total, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     assert!(!big.overflowed, "the big board holds the whole run");
     let batch = big.analyze();
     assert_eq!(
@@ -119,7 +120,8 @@ fn streaming_and_batch_see_the_same_event_count() {
     let batch = Experiment::new()
         .profile_modules(&["kern", "locore"])
         .scenario(scenarios::clock_idle(5))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     assert_eq!(stream.profile.tags, batch.records.len());
     assert_eq!(stream.banks, 1, "one final flush bank");
     let r = batch.analyze();

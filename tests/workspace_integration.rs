@@ -14,7 +14,8 @@ fn full_workflow_selective_profiling() {
     let capture = Experiment::new()
         .profile_modules(&["fs"])
         .scenario(scenarios::fs_writer(24))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     // fs functions captured...
     assert!(r.agg("bwrite").is_some() || r.agg("bawrite").is_some());
@@ -33,11 +34,13 @@ fn profile_base_depends_on_instrumentation_size() {
     let small = Experiment::new()
         .profile_modules(&["fs"])
         .scenario(scenarios::clock_idle(2))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let big = Experiment::new()
         .profile_all()
         .scenario(scenarios::clock_idle(2))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     // More triggers -> bigger kernel -> the ISA window slides up (or at
     // least never down), page-granular.
     assert!(big.link.kernel_size > small.link.kernel_size);
@@ -59,7 +62,8 @@ fn raw_upload_and_zif_readback_agree() {
     let capture = Experiment::new()
         .profile_modules(&["kern", "locore"])
         .scenario(scenarios::clock_idle(5))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     assert!(!capture.records.is_empty());
     // The SmartSocket path: raw 5-byte records parse back identically.
     let raw: Vec<u8> = capture
@@ -95,7 +99,10 @@ fn trigger_overhead_is_about_one_percent() {
         } else {
             Experiment::new().profile_none().unarmed()
         };
-        let capture = e.scenario(scenarios::forkexec_loop(3)).run();
+        let capture = e
+            .scenario(scenarios::forkexec_loop(3))
+            .try_run()
+            .expect("experiment runs");
         let k = &capture.kernel;
         (
             k.machine.now - k.sched.idle_cycles,
@@ -125,7 +132,8 @@ fn overflow_led_stops_a_stock_board() {
         .profile_all()
         .board(BoardConfig::default())
         .scenario(scenarios::network_receive(200 * 1024, true))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     assert!(capture.overflowed, "RAM should fill");
     assert_eq!(capture.records.len(), 16384);
     assert!(capture.missed > 0, "post-overflow triggers were missed");
@@ -150,7 +158,8 @@ fn reports_and_variants_render_everywhere() {
             ..KernelConfig::default()
         })
         .scenario(scenarios::mixed(2))
-        .run();
+        .try_run()
+        .expect("experiment runs");
     let r = capture.analyze();
     let summary = summary_report(&r, None);
     for f in ["bcopy", "pmap_pte", "wdintr", "tcp_input", "falloc"] {
