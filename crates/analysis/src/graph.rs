@@ -37,7 +37,9 @@ pub fn to_dot(r: &Reconstruction) -> String {
 #[cfg(test)]
 mod tests {
     use crate::events::decode;
-    use crate::recon::analyze;
+    fn analyze(syms: &crate::Symbols, events: &[crate::Event]) -> crate::Reconstruction {
+        crate::Analyzer::new(syms).session(events).expect("ungated")
+    }
     use hwprof_profiler::RawRecord;
 
     #[test]

@@ -75,7 +75,9 @@ pub fn render(h: &Histogram, width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use crate::events::decode;
-    use crate::recon::analyze;
+    fn analyze(syms: &crate::Symbols, events: &[crate::Event]) -> crate::Reconstruction {
+        crate::Analyzer::new(syms).session(events).expect("ungated")
+    }
     use hwprof_profiler::RawRecord;
 
     #[test]

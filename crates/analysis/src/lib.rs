@@ -18,6 +18,7 @@
 //! thread of control and matching the resumed stack by its next
 //! unmatched exit.
 
+pub mod analyzer;
 pub mod anomaly;
 pub mod events;
 pub mod graph;
@@ -32,19 +33,20 @@ pub mod stream;
 pub mod trace;
 pub mod whatif;
 
+pub use analyzer::{Analyzer, AnalyzerError};
 pub use anomaly::Anomalies;
 pub use events::{
     decode, decode_recovering, unwrap_times, EvKind, Event, SessionDecoder, SymId, Symbols, TagMap,
     TimeUnwrapper, TIME_JUMP_THRESHOLD,
 };
-pub use recon::{
-    analyze, analyze_iter, analyze_parallel, analyze_sessions, reconstruct_session,
-    reconstruct_session_recovering, FnAgg, Reconstruction,
-};
+#[allow(deprecated)]
+pub use recon::{analyze, analyze_iter, analyze_parallel, analyze_sessions};
+pub use recon::{reconstruct_session, reconstruct_session_recovering, FnAgg, Reconstruction};
 pub use report::summary_report;
+#[allow(deprecated)]
+pub use stitch::{analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming};
 pub use stitch::{
-    analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming, scale_factor,
-    scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,
+    scale_factor, scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,
 };
 pub use stream::{BankFeed, PipelineClosed, RecordStream, StreamAnalyzer};
 pub use trace::{trace_report, TraceStyle};

@@ -3,10 +3,26 @@
 use proptest::prelude::*;
 
 use crate::events::{decode, EvKind, Event, SessionDecoder, Symbols, TagMap};
-use crate::recon::{analyze, analyze_parallel, analyze_sessions};
+use crate::recon::Reconstruction;
 use crate::stream::{RecordStream, StreamAnalyzer};
+use crate::Analyzer;
 use hwprof_profiler::{parse_raw, serialize_raw, BankSink, RawRecord};
 use hwprof_tagfile::{TagFile, TagKind};
+
+fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
+    Analyzer::new(syms).session(events).expect("ungated")
+}
+
+fn analyze_sessions(syms: &Symbols, sessions: &[Vec<Event>]) -> Reconstruction {
+    Analyzer::new(syms).sessions(sessions).expect("ungated")
+}
+
+fn analyze_parallel(syms: &Symbols, sessions: &[Vec<Event>], workers: usize) -> Reconstruction {
+    Analyzer::new(syms)
+        .workers(workers)
+        .sessions(sessions)
+        .expect("ungated")
+}
 
 /// Generates a structurally valid single-thread capture: random nesting
 /// of `nfns` functions with strictly increasing times.

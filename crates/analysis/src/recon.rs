@@ -678,75 +678,47 @@ pub fn reconstruct_session_recovering(syms: &Symbols, events: &[Event]) -> Recon
     r.finish()
 }
 
-/// The one entry point every analysis flavour goes through: an
-/// iterator of capture sessions, folded session by session.
+/// Analyzes an iterator of capture sessions, folded session by session.
 ///
-/// [`analyze`] (one session), [`analyze_sessions`] (a slice of
-/// sessions) and the parallel paths ([`analyze_parallel`], the
-/// `stream` module) are all thin wrappers over this fold, so they
-/// agree by construction.
+/// Deprecated thin wrapper over the [`crate::Analyzer`] facade (which
+/// owns the base fold every flavour goes through).
+#[deprecated(note = "use Analyzer::new(&syms).sessions_iter(sessions)")]
 pub fn analyze_iter<I>(syms: &Symbols, sessions: I) -> Reconstruction
 where
     I: IntoIterator,
     I::Item: AsRef<[Event]>,
 {
-    let mut out = Reconstruction::empty(syms.clone());
-    for s in sessions {
-        out.merge(reconstruct_session(syms, s.as_ref()));
-    }
-    out
+    crate::Analyzer::new(syms)
+        .sessions_iter(sessions)
+        .expect("no anomaly budget configured")
 }
 
 /// Analyzes one capture session.
+#[deprecated(note = "use Analyzer::new(&syms).session(events)")]
 pub fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
-    analyze_iter(syms, [events])
+    crate::Analyzer::new(syms)
+        .session(events)
+        .expect("no anomaly budget configured")
 }
 
 /// Analyzes several concatenated capture sessions (the paper's Figure 3
 /// header shows 28060 tags — more than one 16384-event RAM's worth).
+#[deprecated(note = "use Analyzer::new(&syms).sessions(sessions)")]
 pub fn analyze_sessions(syms: &Symbols, sessions: &[Vec<Event>]) -> Reconstruction {
-    analyze_iter(syms, sessions)
+    crate::Analyzer::new(syms)
+        .sessions(sessions)
+        .expect("no anomaly budget configured")
 }
 
 /// Analyzes sessions fanned out across `workers` threads, merging the
-/// per-session results in session order.
-///
-/// Output is bit-identical to [`analyze_sessions`]: each session is
-/// reconstructed in isolation either way, and the merge is associative,
-/// so folding contiguous blocks per worker and then folding the block
-/// results in order equals the sequential fold — only the schedule
-/// differs.
-///
-/// Sessions are split into contiguous blocks (one per worker) rather
-/// than claimed one at a time: the trace concatenation is a large share
-/// of total analysis cost, and block-local folds parallelize it along
-/// with the reconstruction, leaving only `workers - 1` merges on the
-/// calling thread.
+/// per-session results in session order; bit-identical to
+/// [`analyze_sessions`].
+#[deprecated(note = "use Analyzer::new(&syms).workers(n).sessions(sessions)")]
 pub fn analyze_parallel(syms: &Symbols, sessions: &[Vec<Event>], workers: usize) -> Reconstruction {
-    let workers = workers.max(1).min(sessions.len().max(1));
-    if workers <= 1 {
-        return analyze_iter(syms, sessions);
-    }
-    let chunk = sessions.len().div_ceil(workers);
-    let parts: Vec<Reconstruction> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sessions
-            .chunks(chunk)
-            .map(|block| scope.spawn(move || analyze_iter(syms, block)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(part) => part,
-                Err(e) => std::panic::resume_unwind(e),
-            })
-            .collect()
-    });
-    let mut out = Reconstruction::empty(syms.clone());
-    out.trace.reserve(parts.iter().map(|r| r.trace.len()).sum());
-    for r in parts {
-        out.merge(r);
-    }
-    out
+    crate::Analyzer::new(syms)
+        .workers(workers)
+        .sessions(sessions)
+        .expect("no anomaly budget configured")
 }
 
 #[cfg(test)]
@@ -760,7 +732,36 @@ mod tests {
         RawRecord { tag, time }
     }
 
+    // Shadow the deprecated free functions: these tests pin the
+    // reconstruction semantics, which now live behind the facade.
+    fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
+        crate::Analyzer::new(syms).session(events).expect("ungated")
+    }
+
+    fn analyze_sessions(syms: &Symbols, sessions: &[Vec<Event>]) -> Reconstruction {
+        crate::Analyzer::new(syms)
+            .sessions(sessions)
+            .expect("ungated")
+    }
+
     const TF: &str = "a/100\nb/102\nc/104\nswtch/200!\nMARK/300=\n";
+
+    /// The deprecated wrappers stay thin: same answers as the facade.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_facade() {
+        let tf = parse(TF).unwrap();
+        let recs = [rec(100, 0), rec(102, 20), rec(103, 50), rec(101, 100)];
+        let (syms, ev) = decode(&recs, &tf);
+        let facade = analyze(&syms, &ev);
+        assert_eq!(super::analyze(&syms, &ev), facade);
+        assert_eq!(super::analyze_iter(&syms, [ev.as_slice()]), facade);
+        assert_eq!(
+            super::analyze_sessions(&syms, std::slice::from_ref(&ev)),
+            facade
+        );
+        assert_eq!(super::analyze_parallel(&syms, &[ev], 2), facade);
+    }
 
     #[test]
     fn simple_nesting() {

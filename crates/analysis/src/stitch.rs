@@ -29,8 +29,7 @@ use hwprof_profiler::{Coverage, SupervisedRun};
 use hwprof_tagfile::{TagFile, TagKind};
 
 use crate::events::{SessionDecoder, Symbols, TagMap};
-use crate::recon::{analyze_parallel, reconstruct_session, Reconstruction};
-use crate::stream::StreamAnalyzer;
+use crate::recon::Reconstruction;
 
 /// When a function's tags pass the EE-PAL, by ladder level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,27 +63,25 @@ pub fn stitch_events(tf: &TagFile, run: &SupervisedRun) -> (Symbols, Vec<Vec<cra
 
 /// Stitches a supervised run sequentially: per-bank strict decode and
 /// reconstruction, merged in bank order, coverage folded in.
+#[deprecated(note = "use Analyzer::for_tagfile(tf).run(run)")]
 pub fn analyze_stitched(tf: &TagFile, run: &SupervisedRun) -> Reconstruction {
-    let (syms, sessions) = stitch_events(tf, run);
-    let mut out = Reconstruction::empty(syms.clone());
-    for events in &sessions {
-        out.merge(reconstruct_session(&syms, events));
-    }
-    out.note_coverage(&run.coverage);
-    out
+    crate::Analyzer::for_tagfile(tf)
+        .run(run)
+        .expect("no anomaly budget configured")
 }
 
 /// Stitches a supervised run with sessions fanned out across `workers`
 /// threads; bit-identical to [`analyze_stitched`].
+#[deprecated(note = "use Analyzer::for_tagfile(tf).workers(n).run(run)")]
 pub fn analyze_stitched_parallel(
     tf: &TagFile,
     run: &SupervisedRun,
     workers: usize,
 ) -> Reconstruction {
-    let (syms, sessions) = stitch_events(tf, run);
-    let mut out = analyze_parallel(&syms, &sessions, workers);
-    out.note_coverage(&run.coverage);
-    out
+    crate::Analyzer::for_tagfile(tf)
+        .workers(workers)
+        .run(run)
+        .expect("no anomaly budget configured")
 }
 
 /// Stitches a supervised run through the streaming pipeline (each
@@ -92,23 +89,16 @@ pub fn analyze_stitched_parallel(
 ///
 /// Returns `None` only if the pipeline misbehaves (it cannot here: the
 /// feed is created and dropped before `finish`).
+#[deprecated(note = "use Analyzer::for_tagfile(tf).workers(n).run_streaming(run)")]
 pub fn analyze_stitched_streaming(
     tf: &TagFile,
     run: &SupervisedRun,
     workers: usize,
 ) -> Option<Reconstruction> {
-    let mut analyzer = StreamAnalyzer::new(tf, workers);
-    {
-        let mut feed = analyzer.feed().ok()?;
-        for s in &run.sessions {
-            if !hwprof_profiler::BankSink::bank(&mut feed, s.records.clone()) {
-                return None;
-            }
-        }
-    }
-    let mut out = analyzer.finish().ok()?;
-    out.note_coverage(&run.coverage);
-    Some(out)
+    crate::Analyzer::for_tagfile(tf)
+        .workers(workers)
+        .run_streaming(run)
+        .ok()
 }
 
 /// Classifies when `name`'s tags were visible during a supervised run.
@@ -213,7 +203,9 @@ mod tests {
         let (tf, run) = supervised_fixture();
         assert!(run.sessions.len() > 1, "several banks");
         assert!(!run.gaps.is_empty());
-        let r = analyze_stitched(&tf, &run);
+        let r = crate::Analyzer::for_tagfile(&tf)
+            .run(&run)
+            .expect("ungated");
         // Elapsed is summed inside sessions only: it never exceeds the
         // covered time.
         assert!(r.total_elapsed <= run.coverage.covered_us);
@@ -225,19 +217,41 @@ mod tests {
     #[test]
     fn three_stitch_paths_are_bit_identical() {
         let (tf, run) = supervised_fixture();
-        let seq = analyze_stitched(&tf, &run);
+        let seq = crate::Analyzer::for_tagfile(&tf)
+            .run(&run)
+            .expect("ungated");
         for workers in [1, 2, 3] {
-            let par = analyze_stitched_parallel(&tf, &run, workers);
+            let a = crate::Analyzer::for_tagfile(&tf).workers(workers);
+            let par = a.run(&run).expect("ungated");
             assert_eq!(seq, par, "parallel({workers}) diverged");
-            let streamed = analyze_stitched_streaming(&tf, &run, workers).expect("pipeline open");
+            let streamed = a.run_streaming(&run).expect("pipeline open");
             assert_eq!(seq, streamed, "streaming({workers}) diverged");
         }
+    }
+
+    /// The deprecated free functions are thin wrappers: they must keep
+    /// returning exactly what the facade returns.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_stitch_wrappers_agree_with_facade() {
+        let (tf, run) = supervised_fixture();
+        let facade = crate::Analyzer::for_tagfile(&tf)
+            .run(&run)
+            .expect("ungated");
+        assert_eq!(analyze_stitched(&tf, &run), facade);
+        assert_eq!(analyze_stitched_parallel(&tf, &run, 2), facade);
+        assert_eq!(
+            analyze_stitched_streaming(&tf, &run, 2).expect("pipeline open"),
+            facade
+        );
     }
 
     #[test]
     fn report_carries_coverage_block() {
         let (tf, run) = supervised_fixture();
-        let r = analyze_stitched(&tf, &run);
+        let r = crate::Analyzer::for_tagfile(&tf)
+            .run(&run)
+            .expect("ungated");
         let rep = crate::report::summary_report(&r, Some(5));
         assert!(rep.contains("Coverage:"), "report:\n{rep}");
         assert!(rep.contains("covered"));
@@ -295,7 +309,9 @@ mod tests {
     #[test]
     fn scaled_calls_extrapolates_masked_functions() {
         let (tf, run) = supervised_fixture();
-        let r = analyze_stitched(&tf, &run);
+        let r = crate::Analyzer::for_tagfile(&tf)
+            .run(&run)
+            .expect("ungated");
         // Ladder disabled: everything ran at All, so scaling inflates
         // exactly by timeline/covered.
         let a_calls = r.agg("a").expect("known").calls as f64;

@@ -19,7 +19,9 @@ use std::thread::JoinHandle;
 
 use hwprof_profiler::{BankSink, RawRecord, RecordError};
 use hwprof_tagfile::TagFile;
+use hwprof_telemetry::{Counter, Gauge, Registry};
 
+use crate::anomaly::Anomalies;
 use crate::events::{SessionDecoder, Symbols, TagMap};
 use crate::recon::{reconstruct_session, reconstruct_session_recovering, Reconstruction};
 
@@ -40,6 +42,61 @@ impl std::error::Error for PipelineClosed {}
 
 /// An indexed bank in flight between the feed and a worker.
 type QueuedBank = (usize, Vec<RawRecord>);
+
+/// Live pipeline telemetry, shared by the feed and the workers.
+///
+/// Opt-in ([`StreamAnalyzer::set_telemetry`]) and touched once per
+/// *bank*, never per event, so the hot decode loop is unaffected.
+#[derive(Clone)]
+struct StreamMetrics {
+    /// `stream.banks`: banks claimed and analyzed by workers.
+    banks: Counter,
+    /// `stream.events`: events decoded across all banks.
+    events: Counter,
+    /// `stream.queue_depth`: banks queued and not yet claimed.
+    queue_depth: Gauge,
+    /// `stream.anomalies.<class>`: classified anomalies, summed per
+    /// bank — field-for-field the same values the merged
+    /// [`Reconstruction::anomalies`] accumulates.
+    orphan_exits: Counter,
+    unmatched_entries: Counter,
+    unknown_tags: Counter,
+    time_jumps: Counter,
+    duplicates: Counter,
+    truncations: Counter,
+}
+
+impl StreamMetrics {
+    fn new(reg: &Registry) -> Self {
+        StreamMetrics {
+            banks: reg.counter("stream.banks"),
+            events: reg.counter("stream.events"),
+            queue_depth: reg.gauge("stream.queue_depth"),
+            orphan_exits: reg.counter("stream.anomalies.orphan_exits"),
+            unmatched_entries: reg.counter("stream.anomalies.unmatched_entries"),
+            unknown_tags: reg.counter("stream.anomalies.unknown_tags"),
+            time_jumps: reg.counter("stream.anomalies.time_jumps"),
+            duplicates: reg.counter("stream.anomalies.duplicates"),
+            truncations: reg.counter("stream.anomalies.truncations"),
+        }
+    }
+
+    fn note_bank(&self, events: u64, a: &Anomalies) {
+        self.banks.inc();
+        self.events.add(events);
+        self.orphan_exits.add(a.orphan_exits);
+        self.unmatched_entries.add(a.unmatched_entries);
+        self.unknown_tags.add(a.unknown_tags);
+        self.time_jumps.add(a.time_jumps);
+        self.duplicates.add(a.duplicates);
+        self.truncations.add(a.truncations);
+    }
+}
+
+/// The late-bound telemetry slot: `set_telemetry` fills it after the
+/// workers are already parked on the queue, so they re-read it per
+/// bank (one mutex lock per bank, nothing per event).
+type MetricsSlot = Arc<Mutex<Option<StreamMetrics>>>;
 
 /// Incremental 5-byte record decode: accepts the upload byte stream in
 /// arbitrary chunks, carrying partial records across chunk boundaries.
@@ -101,11 +158,19 @@ pub const DEFAULT_BACKLOG: usize = 256;
 
 /// The board-facing end of the pipeline: assigns bank indices (bank
 /// order is session order) and queues banks for the workers.
-#[derive(Debug)]
 pub struct BankFeed {
     next: usize,
     tx: SyncSender<QueuedBank>,
     queued: Arc<AtomicUsize>,
+    metrics: MetricsSlot,
+}
+
+impl std::fmt::Debug for BankFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BankFeed")
+            .field("next", &self.next)
+            .finish()
+    }
 }
 
 impl BankSink for BankFeed {
@@ -114,6 +179,13 @@ impl BankSink for BankFeed {
             Ok(()) => {
                 self.next += 1;
                 self.queued.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &*self.metrics.lock().unwrap_or_else(|e| e.into_inner()) {
+                    // A worker may have claimed (and decremented) this
+                    // bank already, briefly wrapping the counter below
+                    // zero; clamp the gauge rather than racing it.
+                    m.queue_depth
+                        .set((self.queued.load(Ordering::Relaxed) as isize).max(0) as u64);
+                }
                 true
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
@@ -131,6 +203,7 @@ pub struct StreamAnalyzer {
     workers: Vec<JoinHandle<Vec<(usize, Reconstruction)>>>,
     syms: Symbols,
     queued: Arc<AtomicUsize>,
+    metrics: MetricsSlot,
 }
 
 /// How a [`StreamAnalyzer`] treats malformed banks.
@@ -174,12 +247,14 @@ impl StreamAnalyzer {
         let (tx, rx) = std::sync::mpsc::sync_channel(backlog.max(1));
         let rx: Arc<Mutex<Receiver<QueuedBank>>> = Arc::new(Mutex::new(rx));
         let queued = Arc::new(AtomicUsize::new(0));
+        let metrics: MetricsSlot = Arc::new(Mutex::new(None));
         let workers = (0..workers.max(1))
             .map(|w| {
                 let rx = Arc::clone(&rx);
                 let map = Arc::clone(&map);
                 let syms = syms.clone();
                 let queued = Arc::clone(&queued);
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("hwprof-analyze-{w}"))
                     .spawn(move || {
@@ -195,6 +270,11 @@ impl StreamAnalyzer {
                                 break;
                             };
                             queued.fetch_sub(1, Ordering::Relaxed);
+                            let live = metrics.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                            if let Some(m) = &live {
+                                m.queue_depth
+                                    .set((queued.load(Ordering::Relaxed) as isize).max(0) as u64);
+                            }
                             let mut decoder = SessionDecoder::new(&map);
                             let mut events = Vec::new();
                             let r = match mode {
@@ -209,6 +289,9 @@ impl StreamAnalyzer {
                                     r
                                 }
                             };
+                            if let Some(m) = &live {
+                                m.note_bank(events.len() as u64, &r.anomalies);
+                            }
                             done.push((idx, r));
                         }
                         done
@@ -221,7 +304,18 @@ impl StreamAnalyzer {
             workers,
             syms,
             queued,
+            metrics,
         }
+    }
+
+    /// Registers the pipeline's telemetry (`stream.banks`,
+    /// `stream.events`, `stream.queue_depth`, and per-class
+    /// `stream.anomalies.*`) in `reg`.  Call before handing out a
+    /// [`feed`](StreamAnalyzer::feed); banks analyzed earlier are not
+    /// retroactively counted.  The workers read the slot once per bank,
+    /// so disabled telemetry costs nothing on the decode path.
+    pub fn set_telemetry(&self, reg: &Registry) {
+        *self.metrics.lock().unwrap_or_else(|e| e.into_inner()) = Some(StreamMetrics::new(reg));
     }
 
     /// The feed to hand the board (its drain sink).  Bank order through
@@ -237,6 +331,7 @@ impl StreamAnalyzer {
             next: 0,
             tx,
             queued: Arc::clone(&self.queued),
+            metrics: Arc::clone(&self.metrics),
         })
     }
 
@@ -262,6 +357,11 @@ impl StreamAnalyzer {
                 Ok(done) => parts.extend(done),
                 Err(e) => std::panic::resume_unwind(e),
             }
+        }
+        // The queue is drained; settle the gauge (workers' last writes
+        // race each other, so the final value is set here, not there).
+        if let Some(m) = &*self.metrics.lock().unwrap_or_else(|e| e.into_inner()) {
+            m.queue_depth.set(0);
         }
         parts.sort_by_key(|(i, _)| *i);
         let mut out = Reconstruction::empty(self.syms.clone());
@@ -329,6 +429,52 @@ mod tests {
         assert_eq!(r.anomalies.duplicates, 1);
         assert_eq!(r.anomalies.unknown_tags, 1);
         assert_eq!(r.sessions, 2);
+    }
+
+    /// Pipeline telemetry agrees exactly with the merged result: one
+    /// count per bank, `stream.events` == `Reconstruction::tags`, and
+    /// every `stream.anomalies.*` class matches the merged
+    /// [`crate::Anomalies`] field for field.
+    #[test]
+    fn stream_telemetry_matches_merged_result() {
+        let reg = Registry::new();
+        let mut analyzer = StreamAnalyzer::recovering(&tagfile(), 2);
+        analyzer.set_telemetry(&reg);
+        let mut feed = analyzer.feed().expect("open");
+        assert!(feed.bank(vec![
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 101, time: 9 },
+        ]));
+        assert!(feed.bank(vec![
+            RawRecord { tag: 100, time: 20 },
+            RawRecord {
+                tag: 0x9999,
+                time: 25
+            },
+            RawRecord { tag: 101, time: 30 },
+        ]));
+        drop(feed);
+        let r = analyzer.finish().expect("first finish");
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("stream.banks"), Some(2));
+        assert_eq!(snap.value("stream.events"), Some(r.tags as u64));
+        assert_eq!(snap.value("stream.queue_depth"), Some(0));
+        for (name, ledger) in [
+            ("stream.anomalies.orphan_exits", r.anomalies.orphan_exits),
+            (
+                "stream.anomalies.unmatched_entries",
+                r.anomalies.unmatched_entries,
+            ),
+            ("stream.anomalies.unknown_tags", r.anomalies.unknown_tags),
+            ("stream.anomalies.time_jumps", r.anomalies.time_jumps),
+            ("stream.anomalies.duplicates", r.anomalies.duplicates),
+            ("stream.anomalies.truncations", r.anomalies.truncations),
+        ] {
+            assert_eq!(snap.value(name), Some(ledger), "{name}");
+        }
+        assert_eq!(r.anomalies.duplicates, 1);
+        assert_eq!(r.anomalies.unknown_tags, 1);
     }
 
     #[test]

@@ -133,7 +133,9 @@ pub fn trace_report(r: &Reconstruction, style: &TraceStyle) -> String {
 mod tests {
     use super::*;
     use crate::events::decode;
-    use crate::recon::analyze;
+    fn analyze(syms: &crate::Symbols, events: &[crate::Event]) -> crate::Reconstruction {
+        crate::Analyzer::new(syms).session(events).expect("ungated")
+    }
     use hwprof_profiler::RawRecord;
 
     #[test]

@@ -6,7 +6,7 @@
 //! exact cycle times, so any disagreement beyond hardware quantization is
 //! an analysis bug.
 
-use hwprof_analysis::{analyze, decode, summary_report, trace_report, TraceStyle};
+use hwprof_analysis::{decode, summary_report, trace_report, Analyzer, TraceStyle};
 use hwprof_kernel386::funcs::KFn;
 use hwprof_kernel386::hosts::TcpBlaster;
 use hwprof_kernel386::kern_exec::ExecImage;
@@ -37,7 +37,7 @@ fn captured_run(
     let k = sim.run();
     assert!(!board.leds().overflow, "capture RAM overflowed");
     let (syms, events) = decode(&board.records(), &tagfile);
-    let r = analyze(&syms, &events);
+    let r = Analyzer::new(&syms).session(&events).expect("ungated");
     (k, r)
 }
 

@@ -9,8 +9,7 @@
 use proptest::prelude::*;
 
 use hwprof_analysis::{
-    analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming, reconstruct_session,
-    Reconstruction, SessionDecoder, Symbols, TagMap,
+    reconstruct_session, Analyzer, Reconstruction, SessionDecoder, Symbols, TagMap,
 };
 use hwprof_machine::EpromTap;
 use hwprof_profiler::{
@@ -36,6 +35,7 @@ fn supervised_tagfile(nfns: u16) -> (TagFile, Vec<u16>, u16) {
 /// (entries/exits with strictly increasing simulated time, periodic
 /// context switches) over a deliberately tiny board, so overflows,
 /// re-arms, retries and ladder moves all happen.
+#[allow(clippy::too_many_arguments)]
 fn drive_supervised(
     nfns: u16,
     ops: &[(u8, u8)],
@@ -44,6 +44,7 @@ fn drive_supervised(
     fail_ppm: u32,
     outage: Option<(u64, u64)>,
     seed: u64,
+    telemetry: Option<&hwprof_telemetry::Registry>,
 ) -> (TagFile, SupervisedRun) {
     let (tf, tags, swtch) = supervised_tagfile(nfns);
     let board = Profiler::new(BoardConfig {
@@ -56,6 +57,9 @@ fn drive_supervised(
         transport = transport.with_outage(start, end.max(start));
     }
     let mut sup = CaptureSupervisor::new(board, mask, policy, Box::new(transport));
+    if let Some(reg) = telemetry {
+        sup.set_telemetry(reg);
+    }
     let mut stack: Vec<u16> = Vec::new();
     let mut t = 1_000u64;
     for (i, &(sel, dt)) in ops.iter().enumerate() {
@@ -160,7 +164,7 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let pol = policy(drain_budget, attempts, spill, ladder_sel == 1, cooldown, jitter, seed);
-        let (_tf, run) = drive_supervised(nfns, &ops, pol, capacity, fail_ppm, None, seed);
+        let (_tf, run) = drive_supervised(nfns, &ops, pol, capacity, fail_ppm, None, seed, None);
         let cov = run.coverage;
         prop_assert!(
             cov.covered_us + cov.gap_us == cov.timeline_us,
@@ -201,12 +205,12 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let pol = policy(25, 2, 2, ladder_sel == 1, 100, 0, seed);
-        let (tf, run) = drive_supervised(nfns, &ops, pol, capacity, fail_ppm, None, seed);
-        let seq = analyze_stitched(&tf, &run);
-        let par = analyze_stitched_parallel(&tf, &run, workers);
+        let (tf, run) = drive_supervised(nfns, &ops, pol, capacity, fail_ppm, None, seed, None);
+        let seq = Analyzer::for_tagfile(&tf).run(&run).expect("ungated");
+        let a = Analyzer::for_tagfile(&tf).workers(workers);
+        let par = a.run(&run).expect("ungated");
         prop_assert!(seq == par, "parallel({workers}) diverged");
-        let streamed = analyze_stitched_streaming(&tf, &run, workers)
-            .expect("pipeline open");
+        let streamed = a.run_streaming(&run).expect("pipeline open");
         prop_assert!(seq == streamed, "streaming({workers}) diverged");
     }
 
@@ -316,6 +320,7 @@ proptest! {
             0,
             Some((outage_start, outage_start + outage_len)),
             seed,
+            None,
         );
         let cov = run.coverage;
         prop_assert_eq!(cov.covered_us + cov.gap_us, cov.timeline_us);
@@ -327,8 +332,65 @@ proptest! {
             .filter(|g| g.cause == hwprof_profiler::GapCause::BankLost)
             .count() as u64;
         prop_assert_eq!(lost_gaps, cov.banks_lost);
-        let seq = analyze_stitched(&tf, &run);
-        let par = analyze_stitched_parallel(&tf, &run, 3);
+        let seq = Analyzer::for_tagfile(&tf).run(&run).expect("ungated");
+        let par = Analyzer::for_tagfile(&tf).workers(3).run(&run).expect("ungated");
         prop_assert_eq!(seq, par);
+    }
+
+    /// Telemetry is exact, not approximate: for any seeded
+    /// fault/overflow schedule, the supervisor's live counters agree
+    /// with the [`Coverage`] ledger on every paired metric
+    /// ([`hwprof_profiler::HealthReport`]), and the streaming
+    /// pipeline's counters agree with the merged reconstruction's
+    /// per-class [`hwprof_analysis::Anomalies`] totals field for field.
+    #[test]
+    fn telemetry_agrees_with_ledger_and_anomalies(
+        nfns in 1u16..5,
+        ops in prop::collection::vec((0u8..=255, 0u8..30), 8..250),
+        capacity in 4usize..20,
+        drain_budget in 1u64..120,
+        attempts in 1u32..4,
+        spill in 0usize..3,
+        ladder_sel in 0u8..2,
+        fail_ppm in 0u32..400_000,
+        workers in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let pol = policy(drain_budget, attempts, spill, ladder_sel == 1, 80, 0, seed);
+        let reg = hwprof_telemetry::Registry::new();
+        let (tf, run) = drive_supervised(
+            nfns, &ops, pol, capacity, fail_ppm, None, seed, Some(&reg),
+        );
+        let report = hwprof_profiler::HealthReport::new(reg.snapshot(), run.coverage);
+        prop_assert!(
+            report.is_consistent(),
+            "live metrics diverged from the ledger: {:?}",
+            report.discrepancies()
+        );
+        // The streaming pipeline's counters against the merged result.
+        let sreg = hwprof_telemetry::Registry::new();
+        let r = Analyzer::for_tagfile(&tf)
+            .workers(workers)
+            .telemetry(&sreg)
+            .run_streaming(&run)
+            .expect("pipeline open");
+        let snap = sreg.snapshot();
+        prop_assert_eq!(snap.value("stream.banks"), Some(run.sessions.len() as u64));
+        prop_assert_eq!(snap.value("stream.events"), Some(r.tags as u64));
+        prop_assert_eq!(snap.value("stream.queue_depth"), Some(0));
+        for (name, ledger) in [
+            ("stream.anomalies.orphan_exits", r.anomalies.orphan_exits),
+            ("stream.anomalies.unmatched_entries", r.anomalies.unmatched_entries),
+            ("stream.anomalies.unknown_tags", r.anomalies.unknown_tags),
+            ("stream.anomalies.time_jumps", r.anomalies.time_jumps),
+            ("stream.anomalies.duplicates", r.anomalies.duplicates),
+            ("stream.anomalies.truncations", r.anomalies.truncations),
+        ] {
+            prop_assert!(
+                snap.value(name) == Some(ledger),
+                "{name}: metric {:?} vs ledger {ledger}",
+                snap.value(name)
+            );
+        }
     }
 }

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hwprof_analysis::{
-    analyze, analyze_parallel, analyze_sessions, decode, summary_report, trace_report, Event,
-    SessionDecoder, TagMap, TraceStyle,
+    decode, summary_report, trace_report, Analyzer, Event, SessionDecoder, TagMap, TraceStyle,
 };
 use hwprof_profiler::RawRecord;
 use hwprof_tagfile::{TagFile, TagKind};
@@ -52,10 +51,11 @@ fn bench_analysis(c: &mut Criterion) {
         b.iter(|| decode(&records, &tf));
     });
     let (syms, events) = decode(&records, &tf);
+    let analyzer = Analyzer::new(&syms);
     g.bench_function("reconstruct_16k", |b| {
-        b.iter(|| analyze(&syms, &events));
+        b.iter(|| analyzer.session(&events).expect("ungated"));
     });
-    let r = analyze(&syms, &events);
+    let r = analyzer.session(&events).expect("ungated");
     g.bench_function("summary_report", |b| {
         b.iter(|| summary_report(&r, None));
     });
@@ -85,15 +85,17 @@ fn bench_parallel_reconstruction(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_reconstruction");
     g.throughput(Throughput::Elements(n));
     g.sample_size(10);
+    let analyzer = Analyzer::new(&syms);
     g.bench_function("batch_1m", |b| {
-        b.iter(|| analyze_sessions(&syms, &sessions));
+        b.iter(|| analyzer.sessions(&sessions).expect("ungated"));
     });
     for workers in [2usize, 4, 8] {
         g.bench_with_input(
             BenchmarkId::new("parallel_1m", workers),
             &workers,
             |b, &w| {
-                b.iter(|| analyze_parallel(&syms, &sessions, w));
+                let fanned = analyzer.clone().workers(w);
+                b.iter(|| fanned.sessions(&sessions).expect("ungated"));
             },
         );
     }

@@ -2,7 +2,7 @@
 //! the paper's workloads (how fast the simulator simulates).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hwprof::{scenarios, Experiment};
+use hwprof::{scenarios, Experiment, Registry};
 use hwprof_profiler::BoardConfig;
 use std::time::Duration;
 
@@ -15,6 +15,21 @@ fn bench_scenarios(c: &mut Criterion) {
             Experiment::new()
                 .profile_modules(&["net", "locore", "kern", "sys"])
                 .board(BoardConfig::wide())
+                .scenario(scenarios::network_receive(64 * 1024, true))
+                .try_run()
+                .expect("experiment runs")
+        });
+    });
+    // The same capture with the board publishing live telemetry: the
+    // overhead claim is that this pair stays within noise of the pair
+    // above (metrics are lock-free atomics off the trigger fast path).
+    g.bench_function("network_receive_64k_profiled_telemetry", |b| {
+        b.iter(|| {
+            let reg = Registry::new();
+            Experiment::new()
+                .profile_modules(&["net", "locore", "kern", "sys"])
+                .board(BoardConfig::wide())
+                .telemetry(&reg)
                 .scenario(scenarios::network_receive(64 * 1024, true))
                 .try_run()
                 .expect("experiment runs")

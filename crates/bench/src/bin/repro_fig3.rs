@@ -6,7 +6,7 @@
 //! concatenated (28060 tags).
 
 use hwprof::scenarios::network_receive;
-use hwprof::{Capture, Experiment};
+use hwprof::{Analyzer, Experiment};
 use hwprof_analysis::summary_report;
 use hwprof_bench::{banner, pct, row};
 use hwprof_profiler::BoardConfig;
@@ -29,7 +29,9 @@ fn main() {
     };
     let a = run(1);
     let b = run(2);
-    let r = Capture::analyze_concatenated(&[&a, &b]);
+    let r = Analyzer::for_tagfile(&a.tagfile)
+        .record_sessions([&a.records, &b.records])
+        .expect("ungated");
     println!();
     println!("{}", summary_report(&r, Some(14)));
     println!();

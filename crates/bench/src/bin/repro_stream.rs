@@ -4,9 +4,7 @@
 
 use std::time::Instant;
 
-use hwprof::analysis::{
-    analyze_parallel, analyze_sessions, summary_report, Event, SessionDecoder, Symbols, TagMap,
-};
+use hwprof::analysis::{summary_report, Analyzer, Event, SessionDecoder, Symbols, TagMap};
 use hwprof::profiler::BoardConfig;
 use hwprof::{scenarios, Experiment};
 use hwprof_bench::{banner, row};
@@ -83,14 +81,17 @@ fn main() {
             .min()
             .expect("five runs")
     };
+    let batch = Analyzer::new(&syms);
+    let fanned = batch.clone().workers(4);
     let batch_t = time(&|| {
-        analyze_sessions(&syms, &sessions);
+        batch.sessions(&sessions).expect("ungated");
     });
     let par_t = time(&|| {
-        analyze_parallel(&syms, &sessions, 4);
+        fanned.sessions(&sessions).expect("ungated");
     });
     let speedup = batch_t.as_secs_f64() / par_t.as_secs_f64();
-    let identical = analyze_parallel(&syms, &sessions, 4) == analyze_sessions(&syms, &sessions);
+    let identical =
+        fanned.sessions(&sessions).expect("ungated") == batch.sessions(&sessions).expect("ungated");
     row(
         "parallel == batch (bit-identical)",
         "yes",

@@ -8,9 +8,7 @@
 
 use std::process::exit;
 
-use hwprof::analysis::{
-    analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming, summary_report,
-};
+use hwprof::analysis::{summary_report, Analyzer};
 use hwprof::profiler::BoardConfig;
 use hwprof::{scenarios, Experiment, SupervisorPolicy};
 use hwprof_bench::{banner, pct, row};
@@ -83,10 +81,11 @@ fn main() {
         },
         cov.covered_us + cov.gap_us == cov.timeline_us,
     );
-    let seq = analyze_stitched(&cap.tagfile, &cap.run);
-    let par = analyze_stitched_parallel(&cap.tagfile, &cap.run, 4);
-    let streamed = analyze_stitched_streaming(&cap.tagfile, &cap.run, 4);
-    let identical = seq == cap.profile && seq == par && streamed.as_ref() == Some(&seq);
+    let stitcher = Analyzer::for_tagfile(&cap.tagfile);
+    let seq = stitcher.run(&cap.run).expect("ungated");
+    let par = stitcher.clone().workers(4).run(&cap.run).expect("ungated");
+    let streamed = stitcher.clone().workers(4).run_streaming(&cap.run);
+    let identical = seq == cap.profile && seq == par && streamed.as_ref() == Ok(&seq);
     check(
         "batch/parallel/streaming stitches agree",
         "bit-identical",

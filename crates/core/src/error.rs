@@ -6,7 +6,14 @@ use hwprof_tagfile::TagFileError;
 
 /// Everything that can go wrong between configuring an experiment and
 /// getting a capture back.
+///
+/// Non-exhaustive: new capture modes grow new failure classes (the
+/// supervised transport variants arrived after the first release of
+/// this enum), so downstream matches must carry a wildcard arm.  Use
+/// [`Error::is_retryable`] to decide whether re-running the same
+/// experiment could succeed.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// [`Experiment::scenario`](crate::Experiment::scenario) was never
     /// called.
@@ -55,6 +62,27 @@ pub enum Error {
         /// ([`SupervisorPolicy::min_coverage_ppm`](hwprof_profiler::SupervisorPolicy)).
         required_ppm: u32,
     },
+}
+
+impl Error {
+    /// True when re-running the same experiment could plausibly
+    /// succeed: the failure came from the run's environment (a flaky
+    /// upload transport, a capture race against the analysis pipeline,
+    /// coverage lost to seeded outages), not from the configuration.
+    ///
+    /// Configuration and build errors ([`Error::MissingScenario`],
+    /// [`Error::EmptyScenario`], [`Error::Compile`], [`Error::Link`]),
+    /// API misuse ([`Error::PipelineClosed`]) and deterministic data
+    /// corruption ([`Error::CorruptUpload`] — the fault schedule is
+    /// seeded, so a re-run reproduces it) are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::BoardOverflow { .. }
+                | Error::TransportFailed { .. }
+                | Error::CoverageTooLow { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for Error {

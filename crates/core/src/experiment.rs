@@ -15,10 +15,7 @@
 //!   analysis worker pool *while the workload is still running*, so a
 //!   capture is no longer bounded by the 16384-event RAM.
 
-use hwprof_analysis::{
-    analyze_sessions, analyze_stitched, decode, decode_recovering, reconstruct_session_recovering,
-    Anomalies, Reconstruction, StreamAnalyzer,
-};
+use hwprof_analysis::{Analyzer, Anomalies, Reconstruction, StreamAnalyzer};
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
 use hwprof_kernel386::kernel::{Kernel, KernelConfig};
@@ -28,10 +25,11 @@ use hwprof_machine::wire::RemoteHost;
 use hwprof_machine::{CostModel, EpromTap};
 use hwprof_profiler::{
     parse_raw_lossy, serialize_raw, BoardConfig, CaptureSupervisor, Coverage, FaultInjector,
-    FaultSpec, FlakyTransport, InjectedFaults, MemoryTransport, Profiler, RawRecord, SupervisedRun,
-    SupervisorPolicy, TagMask, Transport,
+    FaultSpec, FlakyTransport, HealthReport, InjectedFaults, MemoryTransport, Profiler, RawRecord,
+    SupervisedRun, SupervisorPolicy, TagMask, Transport,
 };
 use hwprof_tagfile::{TagFile, TagKind};
+use hwprof_telemetry::{Registry, Snapshot};
 
 use crate::error::Error;
 
@@ -65,6 +63,7 @@ type SpawnHook = Box<dyn FnOnce(&Sim)>;
 impl Scenario {
     /// Starts building a scenario: no remote host, no disk, nothing
     /// spawned.
+    #[must_use]
     pub fn builder() -> ScenarioBuilder {
         ScenarioBuilder::default()
     }
@@ -72,6 +71,7 @@ impl Scenario {
     /// This scenario with `f` run just before its own spawn hook —
     /// decorates a canned workload with bootstrap processes (e.g. a
     /// process that switches the clock sampler on).
+    #[must_use = "returns the decorated scenario; the original is consumed"]
     pub fn with_spawn_prelude(self, f: impl FnOnce(&Sim) + 'static) -> Scenario {
         let inner = self.spawn;
         Scenario {
@@ -95,12 +95,14 @@ pub struct ScenarioBuilder {
 
 impl ScenarioBuilder {
     /// The remote Ethernet host on the other end of the wire.
+    #[must_use = "builder methods return the updated builder"]
     pub fn host(mut self, host: impl RemoteHost + 'static) -> Self {
         self.host = Some(Box::new(host));
         self
     }
 
     /// The scenario needs the IDE disk.
+    #[must_use = "builder methods return the updated builder"]
     pub fn disk(mut self) -> Self {
         self.disk = true;
         self
@@ -108,6 +110,7 @@ impl ScenarioBuilder {
 
     /// Spawns the scenario's processes (runs once, just before the
     /// simulation starts).
+    #[must_use = "builder methods return the updated builder"]
     pub fn spawn(mut self, f: impl FnOnce(&Sim) + 'static) -> Self {
         self.spawn = Some(Box::new(f));
         self
@@ -116,6 +119,7 @@ impl ScenarioBuilder {
     /// Finishes the scenario.  A scenario that never called
     /// [`spawn`](ScenarioBuilder::spawn) spawns nothing and the run
     /// reports [`Error::EmptyScenario`].
+    #[must_use = "the built scenario must be handed to Experiment::scenario"]
     pub fn build(self) -> Scenario {
         Scenario {
             host: self.host,
@@ -126,6 +130,7 @@ impl ScenarioBuilder {
 }
 
 /// A configured profiling experiment.
+#[must_use = "an Experiment does nothing until a run method consumes it"]
 pub struct Experiment {
     select: ModuleSelect,
     config: KernelConfig,
@@ -135,6 +140,7 @@ pub struct Experiment {
     armed: bool,
     faults: Option<(FaultSpec, u64)>,
     anomaly_limit_ppm: Option<u32>,
+    telemetry: Option<Registry>,
 }
 
 impl Default for Experiment {
@@ -155,53 +161,62 @@ impl Experiment {
             armed: true,
             faults: None,
             anomaly_limit_ppm: None,
+            telemetry: None,
         }
     }
 
     /// Selective profiling: compile only these modules with triggers
     /// (`swtch` stays tagged regardless — the analyzer needs it).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn profile_modules(mut self, modules: &[&'static str]) -> Self {
         self.select = ModuleSelect::only(modules);
         self
     }
 
     /// Profile every module (the macro view).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn profile_all(mut self) -> Self {
         self.select = ModuleSelect::All;
         self
     }
 
     /// Production build: no triggers at all (overhead comparisons).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn profile_none(mut self) -> Self {
         self.select = ModuleSelect::None;
         self
     }
 
     /// Kernel configuration (clock rate, checksum variant, ...).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn config(mut self, config: KernelConfig) -> Self {
         self.config = config;
         self
     }
 
     /// Machine cost model (e.g. the 68020 board).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
     }
 
     /// Board variant (stock 16384x24-bit, or the wide future-work one).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn board(mut self, board: BoardConfig) -> Self {
         self.board = board;
         self
     }
 
     /// The workload.
+    #[must_use = "builder methods return the updated experiment"]
     pub fn scenario(mut self, s: Scenario) -> Self {
         self.scenario = Some(s);
         self
     }
 
     /// Leave the switch off (the board records nothing).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn unarmed(mut self) -> Self {
         self.armed = false;
         self
@@ -213,6 +228,7 @@ impl Experiment {
     /// refused) on their way to the workers.  Analysis automatically
     /// runs in recovery mode so every fault is classified in
     /// [`Anomalies`] rather than corrupting the numbers silently.
+    #[must_use = "builder methods return the updated experiment"]
     pub fn faults(mut self, spec: FaultSpec, seed: u64) -> Self {
         self.faults = Some((spec, seed));
         self
@@ -222,8 +238,23 @@ impl Experiment {
     /// anomalies exceed `ppm` per million tags (streaming runs check at
     /// [`Experiment::try_run_streaming`]; one-shot captures at
     /// [`Capture::try_analyze`]).
+    #[must_use = "builder methods return the updated experiment"]
     pub fn anomaly_limit_ppm(mut self, ppm: u32) -> Self {
         self.anomaly_limit_ppm = Some(ppm);
+        self
+    }
+
+    /// Publishes live run telemetry into `reg`: the board's counters
+    /// (`board.*`), the supervisor's coverage/mask/transport ledger
+    /// (`sup.*`, `transport.*`) on supervised runs, and the analysis
+    /// pipeline's `stream.*` metrics on streaming runs.  Off by
+    /// default; when off, no metric atomics are touched anywhere on
+    /// the capture path.  Serve the registry over SNMP with
+    /// [`hwprof_snmpmib::MibExporter`], or join it with the coverage
+    /// ledger via [`SupervisedCapture::health`].
+    #[must_use = "builder methods return the updated experiment"]
+    pub fn telemetry(mut self, reg: &Registry) -> Self {
+        self.telemetry = Some(reg.clone());
         self
     }
 
@@ -241,6 +272,7 @@ impl Experiment {
         self,
         make_tap: impl FnOnce(&Profiler, &TagFile) -> Box<dyn EpromTap>,
     ) -> Result<PreparedRun, Error> {
+        let telemetry = self.telemetry;
         let scenario = self.scenario.ok_or(Error::MissingScenario)?;
         // The modified compiler pass; swtch is always tagged.
         let mut compiler = Compiler::new(500);
@@ -253,6 +285,9 @@ impl Experiment {
         )?;
         // The board on the EPROM socket.
         let board = Profiler::new(self.board);
+        if let Some(reg) = &telemetry {
+            board.set_telemetry(reg);
+        }
         if self.armed {
             board.set_switch(true);
         }
@@ -278,6 +313,7 @@ impl Experiment {
             sim,
             tagfile,
             link,
+            telemetry,
         })
     }
 
@@ -357,6 +393,9 @@ impl Experiment {
             Some(_) => StreamAnalyzer::recovering(&p.tagfile, workers),
             None => StreamAnalyzer::new(&p.tagfile, workers),
         };
+        if let Some(reg) = &p.telemetry {
+            analyzer.set_telemetry(reg);
+        }
         let feed: Box<dyn hwprof_profiler::BankSink> = match &injector {
             // Banks corrupt (or are refused) in transit to the workers.
             Some(inj) => Box::new(inj.sink(Box::new(analyzer.feed()?))),
@@ -414,8 +453,8 @@ impl Experiment {
     /// sustained overload the EE-PAL tag mask steps down its ladder and
     /// back up when pressure subsides.  The per-bank sessions are
     /// stitched into one timeline reconstruction
-    /// ([`hwprof_analysis::analyze_stitched`]) whose report carries a
-    /// "Coverage" block.
+    /// ([`Analyzer::run`](hwprof_analysis::Analyzer::run)) whose report
+    /// carries a "Coverage" block.
     ///
     /// # Errors
     ///
@@ -445,6 +484,7 @@ impl Experiment {
         let mut supervisor: Option<CaptureSupervisor> = None;
         let sup_slot = &mut supervisor;
         let pol = policy.clone();
+        let telem = self.telemetry.clone();
         let p = self.prepare_with_tap(move |board, tagfile| {
             // The EE-PAL decode for this build: context-switch tags
             // always pass; pinned hot functions resolve by name.
@@ -462,6 +502,9 @@ impl Experiment {
                 );
             }
             let sup = CaptureSupervisor::new(board.clone(), mask, pol, transport);
+            if let Some(reg) = &telem {
+                sup.set_telemetry(reg);
+            }
             *sup_slot = Some(sup.clone());
             Box::new(sup)
         })?;
@@ -484,13 +527,16 @@ impl Experiment {
                 });
             }
         }
-        let profile = analyze_stitched(&p.tagfile, &run);
+        let profile = Analyzer::for_tagfile(&p.tagfile)
+            .run(&run)
+            .expect("supervised stitch configures no anomaly budget");
         Ok(SupervisedCapture {
             run,
             profile,
             tagfile: p.tagfile,
             link: p.link,
             kernel,
+            telemetry: p.telemetry,
         })
     }
 }
@@ -526,6 +572,7 @@ struct PreparedRun {
     sim: Sim,
     tagfile: TagFile,
     link: LinkResult,
+    telemetry: Option<Registry>,
 }
 
 /// The upload: everything the run produced.
@@ -553,20 +600,23 @@ pub struct Capture {
 }
 
 impl Capture {
-    /// Runs the analysis software over this capture.
+    /// Runs the analysis software over this capture (strict mode); the
+    /// configured front door for other flavours is
+    /// [`Analyzer::for_tagfile`]`(&capture.tagfile)`.
     pub fn analyze(&self) -> Reconstruction {
-        let (syms, events) = decode(&self.records, &self.tagfile);
-        analyze_sessions(&syms, &[events])
+        Analyzer::for_tagfile(&self.tagfile)
+            .records(&self.records)
+            .expect("strict analysis configures no anomaly budget")
     }
 
-    /// Runs the analysis software in recovery mode: duplicates dropped,
-    /// corrupt timestamps clamped, mispaired frames resynchronized,
-    /// with every intervention classified in
-    /// [`Reconstruction::anomalies`].
-    pub fn analyze_recovering(&self) -> Reconstruction {
-        let (syms, events, decode_anoms) = decode_recovering(&self.records, &self.tagfile);
-        let mut r = reconstruct_session_recovering(&syms, &events);
-        r.note(&decode_anoms);
+    /// Recovery-mode analysis of this capture, with the upload-level
+    /// truncation (bytes that never completed a record) folded into the
+    /// anomaly ledger alongside the decode/reconstruction classes.
+    fn recovered(&self) -> Reconstruction {
+        let mut r = Analyzer::for_tagfile(&self.tagfile)
+            .recovering(true)
+            .records(&self.records)
+            .expect("recovery analysis configures no anomaly budget");
         if self.trailing_bytes > 0 {
             r.note(&Anomalies {
                 truncations: 1,
@@ -576,12 +626,22 @@ impl Capture {
         r
     }
 
+    /// Runs the analysis software in recovery mode: duplicates dropped,
+    /// corrupt timestamps clamped, mispaired frames resynchronized,
+    /// with every intervention classified in
+    /// [`Reconstruction::anomalies`].
+    #[deprecated(note = "use Capture::try_analyze(None), or \
+                Analyzer::for_tagfile(&capture.tagfile).recovering(true).records(&capture.records)")]
+    pub fn analyze_recovering(&self) -> Reconstruction {
+        self.recovered()
+    }
+
     /// Recovery-mode analysis with a trust gate: errors with
     /// [`Error::CorruptUpload`] if classified anomalies exceed
     /// `limit_ppm` per million tags (defaulting to the experiment's
     /// [`Experiment::anomaly_limit_ppm`], else 1000000 — never refuse).
     pub fn try_analyze(&self, limit_ppm: Option<u32>) -> Result<Reconstruction, Error> {
-        let r = self.analyze_recovering();
+        let r = self.recovered();
         let limit = limit_ppm.or(self.anomaly_limit_ppm).unwrap_or(1_000_000);
         check_anomaly_limit(&r.anomalies, r.tags as u64, limit)?;
         Ok(r)
@@ -589,17 +649,15 @@ impl Capture {
 
     /// Analyzes several captures together (the paper's Figure 3 header
     /// shows 28060 tags — more than one RAM load; the operator swapped
-    /// battery-backed RAMs between runs).
+    /// battery-backed RAMs between runs).  All captures must come from
+    /// the same build (the first capture's tag file decodes every RAM).
+    #[deprecated(note = "use Analyzer::for_tagfile(&capture.tagfile)\
+                .record_sessions(captures.iter().map(|c| c.records.as_slice()))")]
     pub fn analyze_concatenated(captures: &[&Capture]) -> Reconstruction {
         assert!(!captures.is_empty(), "at least one capture");
-        let mut sessions = Vec::new();
-        let mut syms = None;
-        for c in captures {
-            let (s, events) = decode(&c.records, &c.tagfile);
-            syms.get_or_insert(s);
-            sessions.push(events);
-        }
-        analyze_sessions(&syms.expect("non-empty"), &sessions)
+        Analyzer::for_tagfile(&captures[0].tagfile)
+            .record_sessions(captures.iter().map(|c| c.records.as_slice()))
+            .expect("strict analysis configures no anomaly budget")
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not
@@ -656,12 +714,31 @@ pub struct SupervisedCapture {
     pub link: LinkResult,
     /// Final kernel state (ground truth, statistics).
     pub kernel: Kernel,
+    /// The registry the run published into, when
+    /// [`Experiment::telemetry`] was configured.
+    telemetry: Option<Registry>,
 }
 
 impl SupervisedCapture {
     /// The run's coverage ledger.
     pub fn coverage(&self) -> &Coverage {
         &self.run.coverage
+    }
+
+    /// A point-in-time snapshot of the run's telemetry registry, when
+    /// [`Experiment::telemetry`] was configured.
+    pub fn metrics(&self) -> Option<Snapshot> {
+        self.telemetry.as_ref().map(Registry::snapshot)
+    }
+
+    /// Joins the live metrics with the [`Coverage`] ledger: every
+    /// metric↔ledger pairing the two bookkeeping paths maintain
+    /// independently, checked for exact agreement
+    /// ([`HealthReport::is_consistent`]).  `None` when the run had no
+    /// [`Experiment::telemetry`] registry.
+    pub fn health(&self) -> Option<HealthReport> {
+        self.metrics()
+            .map(|snap| HealthReport::new(snap, self.run.coverage))
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not

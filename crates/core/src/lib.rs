@@ -46,11 +46,12 @@ pub use error::Error;
 pub use experiment::{
     Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture, SupervisedCapture,
 };
-pub use hwprof_analysis::Anomalies;
+pub use hwprof_analysis::{Analyzer, AnalyzerError, Anomalies};
 pub use hwprof_profiler::{
-    Coverage, FaultInjector, FaultSpec, FlakyTransport, InjectedFaults, MemoryTransport,
-    RetryPolicy, SupervisorPolicy, TagMaskLevel, Transport,
+    Coverage, FaultInjector, FaultSpec, FlakyTransport, HealthReport, InjectedFaults,
+    MemoryTransport, RetryPolicy, SupervisorPolicy, TagMaskLevel, Transport,
 };
+pub use hwprof_telemetry::Registry;
 
 // Re-export the component crates under one roof.
 pub use hwprof_analysis as analysis;
@@ -61,3 +62,4 @@ pub use hwprof_machine as machine;
 pub use hwprof_profiler as profiler;
 pub use hwprof_snmpmib as snmpmib;
 pub use hwprof_tagfile as tagfile;
+pub use hwprof_telemetry as telemetry;

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use hwprof_machine::EpromTap;
+use hwprof_telemetry::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 
 use crate::record::{serialize_raw, RawRecord};
@@ -119,6 +120,29 @@ pub struct Leds {
     pub overflow: bool,
 }
 
+/// Telemetry handles for the board's hot path — a handful of relaxed
+/// atomics, registered once and touched per trigger only when
+/// telemetry is enabled.
+struct BoardMetrics {
+    triggers: Counter,
+    missed: Counter,
+    overflows: Counter,
+    banks_drained: Counter,
+    fill_pct: Gauge,
+}
+
+impl BoardMetrics {
+    fn new(reg: &Registry) -> Self {
+        BoardMetrics {
+            triggers: reg.counter("board.triggers"),
+            missed: reg.counter("board.missed"),
+            overflows: reg.counter("board.overflows"),
+            banks_drained: reg.counter("board.banks_drained"),
+            fill_pct: reg.gauge("board.fill_pct"),
+        }
+    }
+}
+
 struct BoardState {
     config: BoardConfig,
     ram: Vec<RawRecord>,
@@ -131,6 +155,8 @@ struct BoardState {
     drain: Option<Box<dyn BankSink>>,
     /// Banks handed to the sink so far (including the final flush).
     banks_drained: u64,
+    /// Live self-metrics; `None` keeps the hot path untouched.
+    metrics: Option<BoardMetrics>,
 }
 
 impl BoardState {
@@ -182,6 +208,7 @@ impl Profiler {
                 missed: 0,
                 drain: None,
                 banks_drained: 0,
+                metrics: None,
             })),
         }
     }
@@ -277,6 +304,10 @@ impl Profiler {
                     return true;
                 }
                 st.banks_drained += 1;
+                if let Some(m) = &st.metrics {
+                    m.banks_drained.inc();
+                    m.fill_pct.set(0);
+                }
                 sink.bank(std::mem::take(&mut st.ram))
             }
             None => false,
@@ -294,6 +325,13 @@ impl Profiler {
     pub fn capacity(&self) -> usize {
         self.state.lock().config.capacity
     }
+
+    /// Enables live self-metrics: per-trigger counts, fill level,
+    /// overflow and drained-bank counters under the `board.` prefix in
+    /// `reg`.  Without this call the hot path touches no atomics.
+    pub fn set_telemetry(&self, reg: &Registry) {
+        self.state.lock().metrics = Some(BoardMetrics::new(reg));
+    }
 }
 
 impl EpromTap for Profiler {
@@ -302,6 +340,9 @@ impl EpromTap for Profiler {
         let st = &mut *s;
         if !st.armed || st.overflowed {
             st.missed += 1;
+            if let Some(m) = &st.metrics {
+                m.missed.inc();
+            }
             return;
         }
         if st.ram.len() >= st.bank_capacity() {
@@ -312,11 +353,18 @@ impl EpromTap for Profiler {
                     let cap = (st.config.capacity / 2).max(1);
                     let full = std::mem::replace(&mut st.ram, Vec::with_capacity(cap));
                     st.banks_drained += 1;
+                    if let Some(m) = &st.metrics {
+                        m.banks_drained.inc();
+                    }
                     if !sink.bank(full) {
                         // No empty RAM ready: overflow, stop storing.
                         st.overflowed = true;
                         st.armed = false;
                         st.missed += 1;
+                        if let Some(m) = &st.metrics {
+                            m.overflows.inc();
+                            m.missed.inc();
+                        }
                         return;
                     }
                 }
@@ -326,6 +374,10 @@ impl EpromTap for Profiler {
                     st.overflowed = true;
                     st.armed = false;
                     st.missed += 1;
+                    if let Some(m) = &st.metrics {
+                        m.overflows.inc();
+                        m.missed.inc();
+                    }
                     return;
                 }
             }
@@ -335,6 +387,11 @@ impl EpromTap for Profiler {
             tag: offset,
             time: (now_us & mask) as u32,
         });
+        if let Some(m) = &st.metrics {
+            m.triggers.inc();
+            let cap = st.bank_capacity();
+            m.fill_pct.set((st.ram.len() * 100 / cap.max(1)) as u64);
+        }
     }
 
     fn stored(&self) -> usize {

@@ -22,12 +22,14 @@
 
 mod board;
 mod faults;
+mod health;
 mod record;
 mod supervisor;
 mod zif;
 
 pub use board::{BankSink, BoardConfig, BoardHealth, Leds, Profiler};
 pub use faults::{FaultInjector, FaultSpec, FaultySink, InjectedFaults, SPURIOUS_TAG_BASE};
+pub use health::HealthReport;
 pub use record::{parse_raw, parse_raw_lossy, serialize_raw, RawRecord, RecordError, TIME_MASK};
 pub use supervisor::{
     CaptureSupervisor, Coverage, FlakyTransport, Gap, GapCause, MemoryTransport, RetryPolicy,

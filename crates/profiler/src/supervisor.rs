@@ -38,6 +38,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use hwprof_machine::EpromTap;
+use hwprof_telemetry::{Counter, Gauge, Histo, Registry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -591,6 +592,74 @@ impl SupervisedRun {
     }
 }
 
+/// Telemetry handles for the supervisor and its transport stack.
+///
+/// Counters are incremented at the *same* code sites as the
+/// corresponding [`Coverage`] ledger fields (gap pushes go through one
+/// helper), so after [`CaptureSupervisor::finish`] the snapshot and
+/// the ledger agree exactly — the invariant `HealthReport` checks.
+struct SupMetrics {
+    rearms: Counter,
+    sessions: Counter,
+    masked_events: Counter,
+    missed_in_gaps: Counter,
+    mask_level: Gauge,
+    mask_downgrades: Counter,
+    mask_upgrades: Counter,
+    gaps: Counter,
+    overflow_gaps: Counter,
+    gap_us_overflow: Counter,
+    gap_us_drain: Counter,
+    gap_us_bank_lost: Counter,
+    gap_width_us: Histo,
+    spill_depth: Gauge,
+    covered_us: Gauge,
+    timeline_us: Gauge,
+    level_us: [Gauge; 3],
+    attempts: Counter,
+    failures: Counter,
+    retries: Counter,
+    backoff_us: Histo,
+    breaker_trips: Counter,
+    breaker_open: Gauge,
+    banks_lost: Counter,
+}
+
+impl SupMetrics {
+    fn new(reg: &Registry) -> Self {
+        SupMetrics {
+            rearms: reg.counter("sup.rearms"),
+            sessions: reg.counter("sup.sessions"),
+            masked_events: reg.counter("sup.masked_events"),
+            missed_in_gaps: reg.counter("sup.missed_in_gaps"),
+            mask_level: reg.gauge("sup.mask.level"),
+            mask_downgrades: reg.counter("sup.mask.downgrades"),
+            mask_upgrades: reg.counter("sup.mask.upgrades"),
+            gaps: reg.counter("sup.gaps"),
+            overflow_gaps: reg.counter("sup.overflow_gaps"),
+            gap_us_overflow: reg.counter("sup.gap_us.overflow"),
+            gap_us_drain: reg.counter("sup.gap_us.drain"),
+            gap_us_bank_lost: reg.counter("sup.gap_us.bank_lost"),
+            gap_width_us: reg.histo("sup.gap_width_us"),
+            spill_depth: reg.gauge("sup.spill.depth"),
+            covered_us: reg.gauge("sup.covered_us"),
+            timeline_us: reg.gauge("sup.timeline_us"),
+            level_us: [
+                reg.gauge("sup.level_us.all"),
+                reg.gauge("sup.level_us.hot_masked"),
+                reg.gauge("sup.level_us.switch_only"),
+            ],
+            attempts: reg.counter("transport.attempts"),
+            failures: reg.counter("transport.failures"),
+            retries: reg.counter("transport.retries"),
+            backoff_us: reg.histo("transport.backoff_us"),
+            breaker_trips: reg.counter("transport.breaker.trips"),
+            breaker_open: reg.gauge("transport.breaker.open"),
+            banks_lost: reg.counter("transport.banks_lost"),
+        }
+    }
+}
+
 /// An armed-but-idle covered span with no session of its own.
 struct IdleSpan {
     start_us: u64,
@@ -625,6 +694,8 @@ struct SupervisorState {
     idle: Vec<IdleSpan>,
     cov: Coverage,
     finished: bool,
+    /// Live self-metrics; `None` keeps the trigger path atom-free.
+    metrics: Option<SupMetrics>,
 }
 
 impl SupervisorState {
@@ -636,6 +707,36 @@ impl SupervisorState {
         }
     }
 
+    /// The single gap-recording site: every dark window — swap close,
+    /// lost bank, end-of-run clip — lands here, so the ledger's cause
+    /// counts and the telemetry counters can never drift apart.
+    fn push_gap(&mut self, gap: Gap) {
+        if gap.cause == GapCause::Overflow {
+            self.cov.overflow_gaps += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.gaps.inc();
+            m.gap_width_us.observe(gap.span_us());
+            match gap.cause {
+                GapCause::Overflow => {
+                    m.overflow_gaps.inc();
+                    m.gap_us_overflow.add(gap.span_us());
+                }
+                GapCause::Drain => m.gap_us_drain.add(gap.span_us()),
+                GapCause::BankLost => m.gap_us_bank_lost.add(gap.span_us()),
+            }
+        }
+        self.gaps.push(gap);
+    }
+
+    /// The single delivered-session site, mirroring `push_gap`.
+    fn deliver(&mut self, session: SupervisedSession) {
+        if let Some(m) = &self.metrics {
+            m.sessions.inc();
+        }
+        self.sessions.push(session);
+    }
+
     /// One upload round for a bank: first try plus bounded backoff
     /// retries.  Returns `(delivered, dark_time_spent)`.
     fn try_deliver(&mut self, index: u64, records: &[RawRecord]) -> (bool, u64) {
@@ -643,12 +744,25 @@ impl SupervisorState {
         let attempts = self.policy.retry.max_attempts.max(1);
         for attempt in 0..attempts {
             if attempt > 0 {
-                dark += self.policy.retry.backoff_us(attempt, &mut self.rng);
+                let backoff = self.policy.retry.backoff_us(attempt, &mut self.rng);
+                dark += backoff;
                 self.cov.retries += 1;
+                if let Some(m) = &self.metrics {
+                    m.retries.inc();
+                    m.backoff_us.observe(backoff);
+                }
+            }
+            if let Some(m) = &self.metrics {
+                m.attempts.inc();
             }
             match self.transport.upload(index, records) {
                 Ok(()) => return (true, dark),
-                Err(TransportError) => self.cov.transport_failures += 1,
+                Err(TransportError) => {
+                    self.cov.transport_failures += 1;
+                    if let Some(m) = &self.metrics {
+                        m.failures.inc();
+                    }
+                }
             }
         }
         (false, dark)
@@ -659,16 +773,25 @@ impl SupervisorState {
     fn flush_spill_opportunistic(&mut self) {
         while let Some(front) = self.spill.front() {
             let (index, records) = (front.index, front.records.clone());
+            if let Some(m) = &self.metrics {
+                m.attempts.inc();
+            }
             match self.transport.upload(index, &records) {
                 Ok(()) => {
                     let s = self.spill.pop_front().expect("front exists");
-                    self.sessions.push(s);
+                    self.deliver(s);
                 }
                 Err(TransportError) => {
                     self.cov.transport_failures += 1;
+                    if let Some(m) = &self.metrics {
+                        m.failures.inc();
+                    }
                     break;
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.spill_depth.set(self.spill.len() as u64);
         }
     }
 
@@ -680,6 +803,9 @@ impl SupervisorState {
         // if it was (someone flipped the switch underneath us), the
         // missed triggers are accounted like dark-window misses.
         self.cov.missed_in_gaps += h.missed_while_off;
+        if let Some(m) = &self.metrics {
+            m.missed_in_gaps.add(h.missed_while_off);
+        }
         let records = self.board.records();
         self.board.set_switch(false);
         let captured_level = self.level;
@@ -709,9 +835,17 @@ impl SupervisorState {
                 }
                 self.level = self.level.down();
                 self.cov.mask_downgrades += 1;
+                if let Some(m) = &self.metrics {
+                    m.mask_downgrades.inc();
+                    m.mask_level.set(self.level.idx() as u64);
+                }
             } else if fill_est > self.policy.upgrade_fill_us && self.level != TagMaskLevel::All {
                 self.level = self.level.up();
                 self.cov.mask_upgrades += 1;
+                if let Some(m) = &self.metrics {
+                    m.mask_upgrades.inc();
+                    m.mask_level.set(self.level.idx() as u64);
+                }
             }
         }
 
@@ -726,23 +860,36 @@ impl SupervisorState {
             dark += backoff;
             if ok {
                 self.breaker_open_until = None;
+                if let Some(m) = &self.metrics {
+                    m.breaker_open.set(0);
+                }
                 true
             } else {
                 self.cov.breaker_trips += 1;
                 self.breaker_open_until = Some(now + dark + self.policy.breaker_cooldown_us);
+                if let Some(m) = &self.metrics {
+                    m.breaker_trips.inc();
+                    m.breaker_open.set(1);
+                }
                 false
             }
         };
         if delivered {
-            self.sessions.push(session);
+            self.deliver(session);
             self.flush_spill_opportunistic();
         } else if self.spill.len() < self.policy.spill_banks {
             self.spill.push_back(session);
+            if let Some(m) = &self.metrics {
+                m.spill_depth.set(self.spill.len() as u64);
+            }
         } else {
             // Shelf full and transport down: the newest bank is lost
             // and its span becomes dark after the fact.
             self.cov.banks_lost += 1;
-            self.gaps.push(Gap {
+            if let Some(m) = &self.metrics {
+                m.banks_lost.inc();
+            }
+            self.push_gap(Gap {
                 start_us: session.start_us,
                 end_us: session.end_us,
                 cause: GapCause::BankLost,
@@ -769,14 +916,11 @@ impl SupervisorState {
                     // a dark window; clip it to the timeline.
                     let gap_end = until.min(end);
                     if gap_end > self.gap_start {
-                        self.gaps.push(Gap {
+                        self.push_gap(Gap {
                             start_us: self.gap_start,
                             end_us: gap_end,
                             cause: self.gap_cause,
                         });
-                        if self.gap_cause == GapCause::Overflow {
-                            self.cov.overflow_gaps += 1;
-                        }
                     }
                     self.board.set_switch(false);
                 }
@@ -803,7 +947,7 @@ impl SupervisorState {
                             self.next_bank += 1;
                             let (ok, _) = self.try_deliver(session.index, &session.records);
                             if ok {
-                                self.sessions.push(session);
+                                self.deliver(session);
                             } else {
                                 self.spill.push_back(session);
                             }
@@ -816,10 +960,13 @@ impl SupervisorState {
             while let Some(front) = self.spill.pop_front() {
                 let (ok, _) = self.try_deliver(front.index, &front.records);
                 if ok {
-                    self.sessions.push(front);
+                    self.deliver(front);
                 } else {
                     self.cov.banks_lost += 1;
-                    self.gaps.push(Gap {
+                    if let Some(m) = &self.metrics {
+                        m.banks_lost.inc();
+                    }
+                    self.push_gap(Gap {
                         start_us: front.start_us,
                         end_us: front.end_us,
                         cause: GapCause::BankLost,
@@ -846,6 +993,18 @@ impl SupervisorState {
             self.cov.gaps = self.gaps.len() as u64;
             for g in &self.gaps {
                 self.cov.gap_us += g.span_us();
+            }
+            // Final gauges: the live handles settle on the ledger's
+            // totals, so a post-run snapshot reads like the Coverage
+            // block.
+            if let Some(m) = &self.metrics {
+                m.covered_us.set(self.cov.covered_us);
+                m.timeline_us.set(self.cov.timeline_us);
+                for (g, us) in m.level_us.iter().zip(self.cov.level_us.iter()) {
+                    g.set(*us);
+                }
+                m.mask_level.set(self.level.idx() as u64);
+                m.spill_depth.set(0);
             }
         }
         let mut hot_tags: Vec<u16> = self.mask.hot.iter().copied().collect();
@@ -906,8 +1065,21 @@ impl CaptureSupervisor {
                 idle: Vec::new(),
                 cov: Coverage::empty(),
                 finished: false,
+                metrics: None,
             })),
         }
+    }
+
+    /// Enables live self-metrics in `reg`: supervisor counters under
+    /// `sup.`, retry-stack counters under `transport.`, and the
+    /// wrapped board's counters under `board.`.  Counter sites mirror
+    /// the [`Coverage`] ledger exactly (see `HealthReport`), so a
+    /// post-`finish` snapshot and the ledger provably agree.  Without
+    /// this call the trigger path touches no atomics.
+    pub fn set_telemetry(&self, reg: &Registry) {
+        let mut s = self.state.lock();
+        s.board.set_telemetry(reg);
+        s.metrics = Some(SupMetrics::new(reg));
     }
 
     /// The current mask level.
@@ -951,22 +1123,25 @@ impl EpromTap for CaptureSupervisor {
                 // Still swapping RAMs: the trigger fires into an empty
                 // socket.
                 st.cov.missed_in_gaps += 1;
+                if let Some(m) = &st.metrics {
+                    m.missed_in_gaps.inc();
+                }
                 return;
             }
             // Swap done at `until`: close the gap, re-arm.
-            st.gaps.push(Gap {
+            st.push_gap(Gap {
                 start_us: st.gap_start,
                 end_us: until,
                 cause: st.gap_cause,
             });
-            if st.gap_cause == GapCause::Overflow {
-                st.cov.overflow_gaps += 1;
-            }
             st.dark_until = None;
             st.board.clear();
             st.board.set_switch(true);
             st.session_start = until;
             st.session_triggers = 0;
+            if let Some(m) = &st.metrics {
+                m.rearms.inc();
+            }
         }
         st.session_triggers += 1;
         // Session-length cap: force a swap so the ladder re-evaluates
@@ -974,11 +1149,17 @@ impl EpromTap for CaptureSupervisor {
         if now_us.saturating_sub(st.session_start) >= st.policy.max_session_us {
             st.drain(now_us, false);
             st.cov.missed_in_gaps += 1;
+            if let Some(m) = &st.metrics {
+                m.missed_in_gaps.inc();
+            }
             return;
         }
         if !st.mask.admits(st.level, offset) {
             // The EE-PAL never presents this tag to the board.
             st.cov.masked_events += 1;
+            if let Some(m) = &st.metrics {
+                m.masked_events.inc();
+            }
             return;
         }
         st.board.on_read(offset, now_us);

@@ -197,7 +197,11 @@ impl Mib for BtreeMib {
                 candidate = Some(&n.keys[idx]);
             }
             if n.leaf() {
-                return (candidate.cloned(), cmps);
+                // End-of-MIB answers still charge at least the
+                // emptiness check: an empty root performs no key
+                // comparisons, but the agent did real work to
+                // determine "no successor" (see the trait contract).
+                return (candidate.cloned(), cmps.max(1));
             }
             n = &n.children[idx.min(n.children.len() - 1)];
         }
@@ -251,6 +255,36 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn get_next_edges_charge_comparisons() {
+        // Empty store: the end-of-MIB determination is not free, and
+        // matches LinearMib's accounting exactly.
+        let empty = BtreeMib::new();
+        assert_eq!(empty.get_next(&Oid::new(vec![1])), (None, 1));
+
+        // Max-OID edge: termination costs one root-to-leaf descent —
+        // bounded by height * log2(node width), never zero.
+        let mut t = BtreeMib::new();
+        for i in 0..1000u32 {
+            t.set(oid(i), u64::from(i));
+        }
+        let max = oid(999);
+        let (next, cmps) = t.get_next(&max);
+        assert_eq!(next, None);
+        assert!(cmps >= 1);
+        assert!(
+            cmps <= t.height() * 5,
+            "descent cost {cmps} exceeds height {} * ceil(log2(16))",
+            t.height()
+        );
+        // Repeating the terminator charges the same amount.
+        assert_eq!(t.get_next(&max).1, cmps);
+        // Beyond every key entirely: still a charged descent.
+        let (next, cmps) = t.get_next(&Oid::new(vec![200]));
+        assert_eq!(next, None);
+        assert!(cmps >= 1);
     }
 
     #[test]

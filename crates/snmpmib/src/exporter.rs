@@ -1,0 +1,228 @@
+//! Exports a telemetry [`Snapshot`] as a walkable OID subtree.
+//!
+//! "Instrumenting the instrumenter": the profiling pipeline's own
+//! health metrics are served through the same MIB machinery the case
+//! study built, so an operator can walk the live state of a supervised
+//! capture with plain get-next requests.
+//!
+//! Layout, rooted at the exporter's base OID (the default base is
+//! `1.3.6.1.4.1.1993` — an enterprises arc for the paper's year):
+//!
+//! * `base.1.<i>.0` — scalar metric `i` (counter or gauge value).
+//! * `base.2.<i>.0` — histogram metric `i`: sample count.
+//! * `base.2.<i>.1` — histogram metric `i`: exact sample sum.
+//! * `base.2.<i>.(2+b)` — histogram metric `i`: occupancy of log2
+//!   bucket `b` (only non-empty buckets are exported).
+//!
+//! `<i>` is the metric's 1-based position in the snapshot's sorted
+//! name order — deterministic for a given metric set, so two exports
+//! of the same registry land every object on the same OID.  MIB values
+//! are bare `u64`s, so names travel in a side-table legend returned by
+//! the export; [`MibLegend::name_of`] resolves a walked OID back to
+//! its metric.
+
+use hwprof_telemetry::{MetricValue, Snapshot};
+
+use crate::btree::BtreeMib;
+use crate::oid::Oid;
+use crate::Mib;
+
+/// Arc under the base for scalar metrics.
+const SCALARS_ARC: u32 = 1;
+/// Arc under the base for histogram metrics.
+const HISTOS_ARC: u32 = 2;
+
+/// Maps a [`Snapshot`] onto an OID subtree in any [`Mib`] store.
+#[derive(Debug, Clone)]
+pub struct MibExporter {
+    base: Oid,
+}
+
+impl Default for MibExporter {
+    /// The default subtree root: enterprises.1993.
+    fn default() -> Self {
+        MibExporter::new(Oid::new(vec![1, 3, 6, 1, 4, 1, 1993]))
+    }
+}
+
+impl MibExporter {
+    /// An exporter rooted at `base`.
+    pub fn new(base: Oid) -> Self {
+        MibExporter { base }
+    }
+
+    /// The subtree root.
+    pub fn base(&self) -> &Oid {
+        &self.base
+    }
+
+    fn oid(&self, arcs: &[u32]) -> Oid {
+        let mut v = self.base.arcs().to_vec();
+        v.extend_from_slice(arcs);
+        Oid::new(v)
+    }
+
+    /// Writes every metric in `snap` into `mib`, returning the legend
+    /// that names the exported objects.
+    pub fn export_into(&self, snap: &Snapshot, mib: &mut dyn Mib) -> MibLegend {
+        let mut legend = MibLegend {
+            entries: Vec::new(),
+        };
+        for (i, (name, value)) in snap.metrics.iter().enumerate() {
+            let idx = i as u32 + 1;
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let oid = self.oid(&[SCALARS_ARC, idx, 0]);
+                    mib.set(oid.clone(), *v);
+                    legend.entries.push((name.clone(), oid));
+                }
+                MetricValue::Histo(h) => {
+                    let prefix = self.oid(&[HISTOS_ARC, idx]);
+                    mib.set(self.oid(&[HISTOS_ARC, idx, 0]), h.count);
+                    mib.set(self.oid(&[HISTOS_ARC, idx, 1]), h.sum);
+                    for (b, n) in h.buckets.iter().enumerate() {
+                        if *n > 0 {
+                            mib.set(self.oid(&[HISTOS_ARC, idx, 2 + b as u32]), *n);
+                        }
+                    }
+                    legend.entries.push((name.clone(), prefix));
+                }
+            }
+        }
+        legend
+    }
+
+    /// Exports `snap` into a fresh B-tree store (the case study's
+    /// fast one), ready to hand to `snmp_agent_program`.
+    pub fn export(&self, snap: &Snapshot) -> (BtreeMib, MibLegend) {
+        let mut mib = BtreeMib::new();
+        let legend = self.export_into(snap, &mut mib);
+        (mib, legend)
+    }
+
+    /// Full get-next walk of the exporter's subtree in `mib`: every
+    /// object under the base, in OID order, plus the total comparison
+    /// cost the store charged for the walk.
+    pub fn walk(&self, mib: &dyn Mib) -> (Vec<(Oid, u64)>, usize) {
+        walk_subtree(mib, &self.base)
+    }
+}
+
+/// Get-next walk of every object strictly under `base` (prefix match),
+/// returning the objects in order and the summed comparison cost.
+pub fn walk_subtree(mib: &dyn Mib, base: &Oid) -> (Vec<(Oid, u64)>, usize) {
+    let mut out = Vec::new();
+    let mut cmps = 0;
+    let mut cur = base.clone();
+    loop {
+        let (next, c) = mib.get_next(&cur);
+        cmps += c;
+        match next {
+            Some((oid, v)) if oid.arcs().starts_with(base.arcs()) => {
+                out.push((oid.clone(), v));
+                cur = oid;
+            }
+            _ => return (out, cmps),
+        }
+    }
+}
+
+/// Name side-table for an exported subtree: MIB values are bare
+/// `u64`s, so the metric names ride alongside.
+#[derive(Debug, Clone, Default)]
+pub struct MibLegend {
+    /// `(metric name, OID)` — the scalar's full OID, or a histogram's
+    /// subtree prefix.
+    pub entries: Vec<(String, Oid)>,
+}
+
+impl MibLegend {
+    /// The metric name an exported OID belongs to (exact scalar OID or
+    /// any OID under a histogram's prefix).
+    pub fn name_of(&self, oid: &Oid) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(_, o)| oid.arcs().starts_with(o.arcs()))
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// The OID (or histogram prefix) exported for `name`.
+    pub fn oid_of(&self, name: &str) -> Option<&Oid> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, o)| o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwprof_telemetry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("board.triggers").add(120);
+        reg.gauge("board.fill_pct").set(37);
+        let h = reg.histo("gap.us");
+        h.observe(130);
+        h.observe(900);
+        h.observe(0);
+        reg
+    }
+
+    #[test]
+    fn export_then_walk_recovers_every_metric() {
+        let reg = sample_registry();
+        let snap = reg.snapshot();
+        let exp = MibExporter::default();
+        let (mib, legend) = exp.export(&snap);
+
+        let (objs, cmps) = exp.walk(&mib);
+        assert!(cmps > 0);
+        // 2 scalars + histo count + histo sum + 3 occupied buckets.
+        assert_eq!(objs.len(), 2 + 2 + 3, "objects: {objs:?}");
+        // Scalars come back with their values, resolvable by legend.
+        let fill = legend.oid_of("board.fill_pct").unwrap();
+        assert_eq!(mib.get(fill).0, Some(37));
+        let trig = legend.oid_of("board.triggers").unwrap();
+        assert_eq!(mib.get(trig).0, Some(120));
+        // Every walked OID names a metric.
+        for (oid, _) in &objs {
+            assert!(legend.name_of(oid).is_some(), "unnamed object {oid}");
+        }
+        // Histogram count and sum are exact.
+        let gap = legend.oid_of("gap.us").unwrap().clone();
+        let mut count_oid = gap.arcs().to_vec();
+        count_oid.push(0);
+        let mut sum_oid = gap.arcs().to_vec();
+        sum_oid.push(1);
+        assert_eq!(mib.get(&Oid::new(count_oid)).0, Some(3));
+        assert_eq!(mib.get(&Oid::new(sum_oid)).0, Some(1030));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_store_agnostic() {
+        let snap = sample_registry().snapshot();
+        let exp = MibExporter::new(Oid::new(vec![1, 3, 9]));
+        let (bt, legend_bt) = exp.export(&snap);
+        let mut lin = crate::LinearMib::new();
+        let legend_lin = exp.export_into(&snap, &mut lin);
+        assert_eq!(legend_bt.entries, legend_lin.entries);
+        let (walk_bt, _) = exp.walk(&bt);
+        let (walk_lin, _) = exp.walk(&lin);
+        assert_eq!(walk_bt, walk_lin, "stores disagree on the subtree");
+        // Same registry exported twice lands on identical OIDs.
+        let (bt2, _) = exp.export(&snap);
+        assert_eq!(exp.walk(&bt2).0, walk_bt);
+    }
+
+    #[test]
+    fn walk_stops_at_subtree_boundary() {
+        let snap = sample_registry().snapshot();
+        let exp = MibExporter::new(Oid::new(vec![1, 3, 9]));
+        let (mut mib, _) = exp.export(&snap);
+        // A neighbour just past the subtree must not be swept up.
+        mib.set(Oid::new(vec![1, 3, 10]), 999);
+        let (objs, _) = exp.walk(&mib);
+        assert!(objs.iter().all(|(o, _)| o.arcs().starts_with(&[1, 3, 9])));
+        assert_eq!(objs.len(), 7);
+    }
+}

@@ -13,11 +13,13 @@
 
 pub mod agent;
 pub mod btree;
+pub mod exporter;
 pub mod linear;
 pub mod oid;
 
 pub use agent::{snmp_agent_program, SnmpClientHost, AGENT_PORT};
 pub use btree::BtreeMib;
+pub use exporter::{walk_subtree, MibExporter, MibLegend};
 pub use linear::LinearMib;
 pub use oid::Oid;
 
@@ -31,6 +33,13 @@ pub trait Mib {
     /// Exact lookup.
     fn get(&self, oid: &Oid) -> (Option<u64>, usize);
     /// Smallest entry strictly greater than `oid` (the get-next walk).
+    ///
+    /// The reported comparison count is always at least 1, even on an
+    /// empty store: determining "end of MIB" is work the agent is
+    /// charged for.  Past the last key a [`LinearMib`] charges a full
+    /// scan (`len()` comparisons) while a [`BtreeMib`] charges one
+    /// root-to-leaf descent — the walk-termination request is part of
+    /// the measured asymmetry, not an accounting hole.
     fn get_next(&self, oid: &Oid) -> (Option<(Oid, u64)>, usize);
     /// Number of objects.
     fn len(&self) -> usize;

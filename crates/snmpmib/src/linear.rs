@@ -61,7 +61,11 @@ impl Mib for LinearMib {
                 return (Some((k.clone(), *v)), cmps);
             }
         }
-        (None, cmps)
+        // End-of-MIB: past the last key this has scanned the whole
+        // table (`len()` comparisons); on an empty table the bounds
+        // check itself still costs one, matching the B-tree store so
+        // the agent never answers a request for free.
+        (None, cmps.max(1))
     }
 
     fn len(&self) -> usize {
@@ -72,6 +76,26 @@ impl Mib for LinearMib {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn get_next_edges_charge_comparisons() {
+        // Empty store: the end-of-MIB determination is not free.
+        let empty = LinearMib::new();
+        assert_eq!(empty.get_next(&Oid::new(vec![1])), (None, 1));
+
+        // Max-OID edge: walking past the last key costs a full scan.
+        let mut m = LinearMib::new();
+        for i in 0..10u32 {
+            m.set(Oid::new(vec![1, i]), u64::from(i));
+        }
+        let (next, cmps) = m.get_next(&Oid::new(vec![1, 9]));
+        assert_eq!(next, None);
+        assert_eq!(cmps, m.len(), "termination scans the whole table");
+        // And the same query repeated charges the same amount.
+        assert_eq!(m.get_next(&Oid::new(vec![1, 9])).1, cmps);
+        // Beyond every key entirely: still the full scan, never zero.
+        assert_eq!(m.get_next(&Oid::new(vec![200])).1, m.len());
+    }
 
     #[test]
     fn linear_costs_grow_with_position() {

@@ -1,0 +1,439 @@
+//! Self-metrics for the hwprof pipeline.
+//!
+//! McRae's board is observable only after the fact: the RAMs come back
+//! to the host and you learn the overflow LED lit hours ago.  The
+//! supervised pipeline makes run-time decisions (re-arm, mask ladder,
+//! retry, circuit-break) and this crate gives those decisions a live
+//! health channel that is separate from the trace data itself.
+//!
+//! Three metric kinds, all lock-free on the hot path:
+//!
+//! * [`Counter`] — monotonically increasing event count.
+//! * [`Gauge`] — last-write-wins level (bank fill, queue depth).
+//! * [`Histo`] — log2-bucketed histogram of a u64 sample (gap widths,
+//!   backoff delays), with exact `count` and `sum` alongside.
+//!
+//! Handles are `Arc`-backed atomics handed out by a [`Registry`]; the
+//! registry's mutex is touched only at registration and snapshot time,
+//! never per-event.  Re-registering a name returns the *same* handle,
+//! so independent subsystems can share a metric by name.
+//!
+//! All atomics use `Relaxed` ordering: metrics are statistical while
+//! the run is live, and exact once the run has quiesced (thread joins
+//! and supervisor `finish()` provide the happens-before edge that the
+//! consistency tests rely on).
+//!
+//! ```
+//! use hwprof_telemetry::Registry;
+//! let reg = Registry::new();
+//! let triggers = reg.counter("board.triggers");
+//! triggers.add(3);
+//! reg.gauge("board.fill_pct").set(42);
+//! reg.histo("gap.us").observe(130);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.value("board.triggers"), Some(3));
+//! assert_eq!(snap.value("board.fill_pct"), Some(42));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets in a [`Histo`]: bucket `i` counts samples
+/// whose bit length is `i`, i.e. `0` goes to bucket 0 and a value `v`
+/// with `2^(i-1) <= v < 2^i` goes to bucket `i`.  Bucket 64 holds the
+/// top half of the u64 range.
+pub const HISTO_BUCKETS: usize = 65;
+
+/// Bucket index for a sample: its bit length (0 for 0).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`None` for the unbounded top
+/// bucket).
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    match i {
+        0 => Some(0),
+        1..=63 => Some((1u64 << i) - 1),
+        _ => None,
+    }
+}
+
+/// Monotonic event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Last-write-wins level.  `inc`/`dec` support depth-style gauges
+/// (spill shelf, worker queue); `dec` saturates at zero rather than
+/// wrapping, so a racy underflow cannot turn into 2^64.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistoInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+/// Log2-bucketed histogram with exact count and sum.
+#[derive(Clone, Debug)]
+pub struct Histo(Arc<HistoInner>);
+
+impl Default for Histo {
+    fn default() -> Self {
+        Histo(Arc::new(HistoInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [(); HISTO_BUCKETS].map(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histo {
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.count.fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(v, Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Relaxed)
+    }
+}
+
+#[derive(Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histo(Histo),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histo(_) => "histo",
+        }
+    }
+}
+
+/// Handle factory and snapshot point.  Cloning shares the underlying
+/// store; the mutex guards only the name table, never the atomics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    slots: Arc<Mutex<BTreeMap<String, Slot>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("Registry")
+            .field("metrics", &slots.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.lock().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Counter::default()))
+        {
+            Slot::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Gauge handle for `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.slots.lock().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Gauge::default()))
+        {
+            Slot::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Histogram handle for `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histo(&self, name: &str) -> Histo {
+        let mut slots = self.slots.lock().unwrap();
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histo(Histo::default()))
+        {
+            Slot::Histo(h) => h.clone(),
+            other => panic!("metric {name:?} is a {}, not a histo", other.kind()),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.lock().unwrap();
+        let metrics = slots
+            .iter()
+            .map(|(name, slot)| {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histo(h) => MetricValue::Histo(HistoValue {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.0.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+                    }),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// One captured metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    Histo(HistoValue),
+}
+
+impl MetricValue {
+    /// Scalar view: the counter or gauge value; a histogram's count.
+    pub fn scalar(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Histo(h) => h.count,
+        }
+    }
+}
+
+/// Captured histogram: exact count and sum plus the log2 buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoValue {
+    pub count: u64,
+    pub sum: u64,
+    /// `HISTO_BUCKETS` entries; `buckets[i]` counts samples of bit
+    /// length `i`.
+    pub buckets: Vec<u64>,
+}
+
+/// Point-in-time registry capture, sorted by metric name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Scalar value of `name` (counter/gauge value, histo count).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.get(name).map(MetricValue::scalar)
+    }
+
+    /// Exact sum of all samples observed by histogram `name`.
+    pub fn histo_sum(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Histo(h) => Some(h.sum),
+            _ => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => writeln!(f, "{name} = {v}")?,
+                MetricValue::Gauge(v) => writeln!(f, "{name} = {v} (gauge)")?,
+                MetricValue::Histo(h) => {
+                    writeln!(f, "{name} = {{count {}, sum {}}}", h.count, h.sum)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.snapshot().value("x"), Some(5));
+    }
+
+    #[test]
+    fn gauge_dec_saturates() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        g.set(7);
+        assert_eq!(reg.snapshot().value("depth"), Some(7));
+    }
+
+    #[test]
+    fn histo_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), Some(0));
+        assert_eq!(bucket_bound(3), Some(7));
+        assert_eq!(bucket_bound(64), None);
+
+        let reg = Registry::new();
+        let h = reg.histo("gap.us");
+        for v in [0, 1, 2, 3, 7, 8, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1021);
+        match reg.snapshot().get("gap.us").unwrap() {
+            MetricValue::Histo(hv) => {
+                assert_eq!(hv.buckets.len(), HISTO_BUCKETS);
+                assert_eq!(hv.buckets[0], 1); // 0
+                assert_eq!(hv.buckets[1], 1); // 1
+                assert_eq!(hv.buckets[2], 2); // 2, 3
+                assert_eq!(hv.buckets[3], 1); // 7
+                assert_eq!(hv.buckets[4], 1); // 8
+                assert_eq!(hv.buckets[10], 1); // 1000
+                assert_eq!(hv.buckets.iter().sum::<u64>(), hv.count);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_indexable() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.gauge("c").set(9);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(snap.value("a"), Some(2));
+        assert_eq!(snap.value("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact_after_join() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().value("n"), Some(80_000));
+    }
+}

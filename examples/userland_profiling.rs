@@ -8,14 +8,14 @@
 //! cargo run --example userland_profiling
 //! ```
 
-use hwprof::analysis::{analyze, decode, summary_report};
+use hwprof::analysis::summary_report;
 use hwprof::experiment::Scenario;
 use hwprof::kernel386::kern_exec::ExecImage;
 use hwprof::kernel386::profdev::{profmmap, profopen, user_trigger};
 use hwprof::kernel386::syscall::{sys_execve, sys_sleep};
 use hwprof::kernel386::user::ucompute;
 use hwprof::tagfile::{TagEntry, TagFile, TagKind};
-use hwprof::{Capture, Experiment};
+use hwprof::{Analyzer, Experiment};
 
 // The application's own tag assignments, kept in a second name/tag file
 // well above the kernel's range.
@@ -70,8 +70,9 @@ fn main() {
     // "Multiple name/tag files may exist, and may be concatenated".
     let mut merged = capture.tagfile.clone();
     merged.concat(&app_tagfile()).expect("disjoint ranges");
-    let (syms, events) = decode(&capture.records, &merged);
-    let r = analyze(&syms, &events);
+    let r = Analyzer::for_tagfile(&merged)
+        .records(&capture.records)
+        .expect("ungated");
 
     println!("{}", summary_report(&r, Some(12)));
     let crunch = r.agg("app_crunch").expect("app function profiled");
@@ -84,5 +85,10 @@ fn main() {
     );
     assert_eq!(crunch.calls, 5);
     assert!(crunch.net >= 5 * 1_400);
-    drop(Capture::analyze_concatenated(&[&capture])); // API smoke
+    // API smoke: one capture through the multi-RAM entry point.
+    drop(
+        Analyzer::for_tagfile(&capture.tagfile)
+            .record_sessions([&capture.records])
+            .expect("ungated"),
+    );
 }

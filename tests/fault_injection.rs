@@ -184,8 +184,8 @@ fn experiment_fault_path_rate_zero_matches_direct_run() {
     assert_eq!(faulted.injected.expect("injector ran").total(), 0);
     assert_eq!(direct.injected, None);
     assert_eq!(
-        direct.analyze_recovering(),
-        faulted.analyze_recovering(),
+        direct.try_analyze(None).expect("ungated"),
+        faulted.try_analyze(None).expect("ungated"),
         "recovery analysis must agree bit for bit"
     );
 }
@@ -206,7 +206,9 @@ fn experiment_fault_path_classifies_and_gates_corruption() {
         injected.total() > 0,
         "2% uniform rate must inject something"
     );
-    let r = capture.analyze_recovering();
+    let r = capture
+        .try_analyze(None)
+        .expect("default limit never refuses");
     assert!(
         !r.anomalies.is_clean(),
         "injected faults must surface in the anomaly summary: {injected:?}"

@@ -4,12 +4,11 @@
 //! in the report's Coverage block, and the three stitch paths agreeing
 //! bit-for-bit.  Plus the two new error paths.
 
-use hwprof::analysis::{
-    analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming, summary_report,
-};
+use hwprof::analysis::summary_report;
 use hwprof::profiler::{BoardConfig, GapCause};
 use hwprof::{
-    scenarios, Error, Experiment, FlakyTransport, MemoryTransport, SupervisorPolicy, TagMaskLevel,
+    scenarios, Analyzer, Error, Experiment, FlakyTransport, MemoryTransport, SupervisorPolicy,
+    TagMaskLevel,
 };
 
 /// ~1 MB of saturated TCP: enough to fill the stock 16384-event RAM
@@ -82,13 +81,14 @@ fn supervised_stitch_paths_are_bit_identical() {
     let cap = overflowing_experiment()
         .supervised(SupervisorPolicy::default())
         .expect("supervised run completes");
-    let seq = analyze_stitched(&cap.tagfile, &cap.run);
+    let stitcher = Analyzer::for_tagfile(&cap.tagfile);
+    let seq = stitcher.run(&cap.run).expect("ungated");
     assert_eq!(seq, cap.profile, "capture's own profile is the stitch");
     for workers in [1, 2, 4] {
-        let par = analyze_stitched_parallel(&cap.tagfile, &cap.run, workers);
+        let fanned = stitcher.clone().workers(workers);
+        let par = fanned.run(&cap.run).expect("ungated");
         assert_eq!(seq, par, "parallel({workers}) diverged");
-        let streamed =
-            analyze_stitched_streaming(&cap.tagfile, &cap.run, workers).expect("pipeline open");
+        let streamed = fanned.run_streaming(&cap.run).expect("pipeline open");
         assert_eq!(seq, streamed, "streaming({workers}) diverged");
     }
 }
