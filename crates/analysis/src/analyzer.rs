@@ -34,9 +34,10 @@
 
 use hwprof_profiler::{RawRecord, SupervisedRun};
 use hwprof_tagfile::TagFile;
-use hwprof_telemetry::Registry;
+use hwprof_telemetry::{Registry, SpanLog};
 
 use crate::events::{Event, SessionDecoder, Symbols, TagMap};
+use crate::export::Exporter;
 use crate::recon::{reconstruct_session, reconstruct_session_recovering, Reconstruction};
 use crate::stream::StreamAnalyzer;
 
@@ -100,6 +101,7 @@ pub struct Analyzer {
     workers: usize,
     limit_ppm: Option<u32>,
     telemetry: Option<Registry>,
+    journal: Option<SpanLog>,
 }
 
 impl Analyzer {
@@ -115,6 +117,7 @@ impl Analyzer {
             workers: 1,
             limit_ppm: None,
             telemetry: None,
+            journal: None,
         }
     }
 
@@ -128,6 +131,7 @@ impl Analyzer {
             workers: 1,
             limit_ppm: None,
             telemetry: None,
+            journal: None,
         }
     }
 
@@ -164,9 +168,29 @@ impl Analyzer {
         self
     }
 
+    /// Records per-bank analyze spans into `log` for entry points that
+    /// run the streaming worker pool ([`Analyzer::run_streaming`]).
+    /// Off by default, like [`Analyzer::telemetry`].
+    pub fn journal(mut self, log: &SpanLog) -> Self {
+        self.journal = Some(log.clone());
+        self
+    }
+
     /// The symbol table this analyzer reconstructs against.
     pub fn symbols(&self) -> &Symbols {
         &self.syms
+    }
+
+    /// An [`Exporter`] over a reconstruction this analyzer produced,
+    /// pre-loaded with the configured span journal (if any).  Chain
+    /// [`Exporter::run`] to place a stitched result on its supervised
+    /// timeline.
+    pub fn export<'r>(&self, r: &'r Reconstruction) -> Exporter<'r> {
+        let e = Exporter::new(r);
+        match &self.journal {
+            Some(log) => e.spans(log),
+            None => e,
+        }
     }
 
     /// Reconstructs one session in the configured mode.
@@ -342,6 +366,9 @@ impl Analyzer {
         };
         if let Some(reg) = &self.telemetry {
             analyzer.set_telemetry(reg);
+        }
+        if let Some(log) = &self.journal {
+            analyzer.set_span_log(log);
         }
         {
             let mut feed = analyzer.feed().map_err(|_| AnalyzerError::PipelineClosed)?;

@@ -21,6 +21,7 @@
 pub mod analyzer;
 pub mod anomaly;
 pub mod events;
+pub mod export;
 pub mod graph;
 pub mod groups;
 pub mod hist;
@@ -39,6 +40,7 @@ pub use events::{
     decode, decode_recovering, unwrap_times, EvKind, Event, SessionDecoder, SymId, Symbols, TagMap,
     TimeUnwrapper, TIME_JUMP_THRESHOLD,
 };
+pub use export::{validate_json, Exporter, JsonValue};
 #[allow(deprecated)]
 pub use recon::{analyze, analyze_iter, analyze_parallel, analyze_sessions};
 pub use recon::{reconstruct_session, reconstruct_session_recovering, FnAgg, Reconstruction};

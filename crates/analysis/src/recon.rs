@@ -59,6 +59,12 @@ pub struct TraceItem {
     pub t: u64,
     /// Nesting depth at the event.
     pub depth: usize,
+    /// Thread of control the item belongs to, numbered per session in
+    /// order of first appearance (0 is the thread running at capture
+    /// start; each birth allocates the next lane).  The exporters use
+    /// this to split the paper's `!`-multiplexed stream into per-pid
+    /// lanes; the ASCII renderer ignores it.
+    pub lane: u32,
     /// What happened.
     pub kind: ItemKind,
 }
@@ -119,6 +125,8 @@ struct Frame {
 #[derive(Debug, Default)]
 struct PStack {
     frames: Vec<Frame>,
+    /// Lane id carried by trace items while this stack is active.
+    lane: u32,
 }
 
 /// The full result of reconstruction.
@@ -275,6 +283,8 @@ struct Recon {
     trace: Vec<TraceItem>,
     active: PStack,
     suspended: Vec<PStack>,
+    /// Next lane id to hand a freshly born thread of control.
+    next_lane: u32,
     in_switch: bool,
     switch_start: u64,
     intr_in_switch: u64,
@@ -346,6 +356,7 @@ impl Recon {
             syms,
             active: PStack::default(),
             suspended: Vec::new(),
+            next_lane: 1,
             in_switch: false,
             switch_start: 0,
             intr_in_switch: 0,
@@ -370,6 +381,7 @@ impl Recon {
         self.trace.push(TraceItem {
             t,
             depth,
+            lane: self.active.lane,
             kind: ItemKind::Call {
                 sym,
                 net: 0,
@@ -445,6 +457,7 @@ impl Recon {
             self.trace.push(TraceItem {
                 t,
                 depth: self.active.frames.len(),
+                lane: self.active.lane,
                 kind: ItemKind::Return {
                     sym: if f.spans_switch { Some(f.sym) } else { None },
                     net,
@@ -506,6 +519,7 @@ impl Recon {
                 self.trace.push(TraceItem {
                     t,
                     depth: depth_for_item(&self.active),
+                    lane: self.active.lane,
                     kind: ItemKind::Return {
                         sym: self.active.frames.last().map(|f| f.sym),
                         net: 0,
@@ -527,11 +541,13 @@ impl Recon {
                 self.trace.push(TraceItem {
                     t,
                     depth: 0,
+                    lane: self.active.lane,
                     kind: ItemKind::SwitchIn { birth: false },
                 });
                 self.trace.push(TraceItem {
                     t,
                     depth: depth_for_item(&self.active),
+                    lane: self.active.lane,
                     kind: ItemKind::Return {
                         sym: self.active.frames.last().map(|f| f.sym),
                         net: 0,
@@ -545,11 +561,14 @@ impl Recon {
                 if !old.frames.is_empty() {
                     self.suspended.push(old);
                 }
+                self.active.lane = self.next_lane;
+                self.next_lane += 1;
                 self.out.context_switches += 1;
                 self.out.births += 1;
                 self.trace.push(TraceItem {
                     t,
                     depth: 0,
+                    lane: self.active.lane,
                     kind: ItemKind::SwitchIn { birth: true },
                 });
             }
@@ -617,6 +636,7 @@ impl Recon {
                     self.trace.push(TraceItem {
                         t: ev.t,
                         depth: self.active.frames.len(),
+                        lane: self.active.lane,
                         kind: ItemKind::Inline { sym },
                     });
                 }
@@ -629,10 +649,12 @@ impl Recon {
         self.out.open_at_end += open as u64;
         self.active = PStack::default();
         self.suspended.clear();
+        self.next_lane = 1;
         self.in_switch = false;
         self.trace.push(TraceItem {
             t: events.last().map_or(0, |e| e.t),
             depth: 0,
+            lane: 0,
             kind: ItemKind::SessionBreak,
         });
     }

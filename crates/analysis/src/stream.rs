@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 
 use hwprof_profiler::{BankSink, RawRecord, RecordError};
 use hwprof_tagfile::TagFile;
-use hwprof_telemetry::{Counter, Gauge, Registry};
+use hwprof_telemetry::{Counter, Gauge, Registry, SpanLog, SpanName, SpanTrack};
 
 use crate::anomaly::Anomalies;
 use crate::events::{SessionDecoder, Symbols, TagMap};
@@ -97,6 +97,11 @@ impl StreamMetrics {
 /// workers are already parked on the queue, so they re-read it per
 /// bank (one mutex lock per bank, nothing per event).
 type MetricsSlot = Arc<Mutex<Option<StreamMetrics>>>;
+
+/// The late-bound span journal slot, same shape as [`MetricsSlot`]:
+/// workers re-read it once per bank and record one analyze span per
+/// bank, never anything per event.
+type JournalSlot = Arc<Mutex<Option<SpanLog>>>;
 
 /// Incremental 5-byte record decode: accepts the upload byte stream in
 /// arbitrary chunks, carrying partial records across chunk boundaries.
@@ -204,6 +209,7 @@ pub struct StreamAnalyzer {
     syms: Symbols,
     queued: Arc<AtomicUsize>,
     metrics: MetricsSlot,
+    journal: JournalSlot,
 }
 
 /// How a [`StreamAnalyzer`] treats malformed banks.
@@ -248,6 +254,7 @@ impl StreamAnalyzer {
         let rx: Arc<Mutex<Receiver<QueuedBank>>> = Arc::new(Mutex::new(rx));
         let queued = Arc::new(AtomicUsize::new(0));
         let metrics: MetricsSlot = Arc::new(Mutex::new(None));
+        let journal: JournalSlot = Arc::new(Mutex::new(None));
         let workers = (0..workers.max(1))
             .map(|w| {
                 let rx = Arc::clone(&rx);
@@ -255,6 +262,7 @@ impl StreamAnalyzer {
                 let syms = syms.clone();
                 let queued = Arc::clone(&queued);
                 let metrics = Arc::clone(&metrics);
+                let journal = Arc::clone(&journal);
                 std::thread::Builder::new()
                     .name(format!("hwprof-analyze-{w}"))
                     .spawn(move || {
@@ -292,6 +300,30 @@ impl StreamAnalyzer {
                             if let Some(m) = &live {
                                 m.note_bank(events.len() as u64, &r.anomalies);
                             }
+                            let log = journal.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                            if let Some(log) = &log {
+                                // One analyze span per bank, spanning the
+                                // bank's (session-relative) event times; the
+                                // exporter rebases it onto the supervised
+                                // timeline by session index.
+                                let first = events.first().map_or(0, |e| e.t);
+                                let last = events.last().map_or(first, |e| e.t);
+                                let n = events.len() as u64;
+                                log.begin(
+                                    SpanTrack::Analyzer,
+                                    SpanName::Analyze,
+                                    first,
+                                    idx as u64,
+                                    n,
+                                );
+                                log.end(
+                                    SpanTrack::Analyzer,
+                                    SpanName::Analyze,
+                                    last,
+                                    idx as u64,
+                                    n,
+                                );
+                            }
                             done.push((idx, r));
                         }
                         done
@@ -305,6 +337,7 @@ impl StreamAnalyzer {
             syms,
             queued,
             metrics,
+            journal,
         }
     }
 
@@ -316,6 +349,17 @@ impl StreamAnalyzer {
     /// so disabled telemetry costs nothing on the decode path.
     pub fn set_telemetry(&self, reg: &Registry) {
         *self.metrics.lock().unwrap_or_else(|e| e.into_inner()) = Some(StreamMetrics::new(reg));
+    }
+
+    /// Attaches a span journal: each analyzed bank records one
+    /// `analyze` begin/end pair on the analyzer track (`id` = bank
+    /// index, `arg` = decoded event count, times = the bank's first and
+    /// last event times).  Same late-binding contract as
+    /// [`set_telemetry`](StreamAnalyzer::set_telemetry): one lock per
+    /// bank, nothing on the decode path, banks analyzed earlier are not
+    /// retroactively recorded.
+    pub fn set_span_log(&self, log: &SpanLog) {
+        *self.journal.lock().unwrap_or_else(|e| e.into_inner()) = Some(log.clone());
     }
 
     /// The feed to hand the board (its drain sink).  Bank order through

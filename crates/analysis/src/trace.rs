@@ -9,10 +9,13 @@ pub struct TraceStyle {
     pub close_nested: bool,
     /// Indent width per nesting level.
     pub indent: usize,
-    /// Maximum lines to emit (None = all).
+    /// Maximum lines to emit (None = all).  When the trace is longer, a
+    /// `... truncated (N more lines)` marker closes the report.
     pub max_lines: Option<usize>,
     /// Skip events before this µs offset.
     pub from_us: u64,
+    /// Lead with a column-legend header line.
+    pub header: bool,
 }
 
 impl Default for TraceStyle {
@@ -22,6 +25,7 @@ impl Default for TraceStyle {
             indent: 4,
             max_lines: None,
             from_us: 0,
+            header: false,
         }
     }
 }
@@ -37,88 +41,31 @@ pub fn fmt_time(t: u64) -> String {
 /// switch (named) or contained subcalls (bare), per Figure 4.
 pub fn trace_report(r: &Reconstruction, style: &TraceStyle) -> String {
     let mut out = String::new();
+    if style.header {
+        out.push_str("    sec:ms  us  code path (-> call, <- return, == inline, ! switch)\n");
+    }
     let mut lines = 0usize;
+    let mut suppressed = 0usize;
     for item in &r.trace {
         if item.t < style.from_us {
             continue;
         }
-        if let Some(max) = style.max_lines {
-            if lines >= max {
-                out.push_str("             ...\n");
-                break;
-            }
-        }
-        let pad = " ".repeat(style.indent * item.depth);
-        let line = match item.kind {
-            ItemKind::Call {
-                sym,
-                net,
-                elapsed,
-                children,
-                closed,
-                ..
-            } => {
-                let name = r.syms.name(sym);
-                if !closed {
-                    format!(
-                        "{} {}-> {} (open at capture end)",
-                        fmt_time(item.t),
-                        pad,
-                        name
-                    )
-                } else if children == 0 {
-                    format!("{} {}-> {} ({} us)", fmt_time(item.t), pad, name, net)
-                } else {
-                    format!(
-                        "{} {}-> {} ({} us, {} total)",
-                        fmt_time(item.t),
-                        pad,
-                        name,
-                        net,
-                        elapsed
-                    )
-                }
-            }
-            ItemKind::Return { sym, net, elapsed } => match sym {
-                Some(s) if r.syms.is_cswitch(s) => {
-                    format!("{} {}<- {}", fmt_time(item.t), pad, r.syms.name(s))
-                }
-                Some(s) => format!(
-                    "{} {}<- {} ({} us, {} total)",
-                    fmt_time(item.t),
-                    pad,
-                    r.syms.name(s),
-                    net,
-                    elapsed
-                ),
-                None => {
-                    if !style.close_nested {
-                        continue;
-                    }
-                    format!("{} {}<-", fmt_time(item.t), pad)
-                }
-            },
-            ItemKind::Inline { sym } => {
-                format!("{} {}== {}", fmt_time(item.t), pad, r.syms.name(sym))
-            }
-            ItemKind::SwitchIn { birth } => format!(
-                "{} <- ---- Context switch in{} ----",
-                fmt_time(item.t),
-                if birth { " (new process)" } else { "" }
-            ),
-            ItemKind::SessionBreak => {
-                if r.sessions <= 1 {
-                    continue;
-                }
-                format!(
-                    "{} ======== capture session boundary ========",
-                    fmt_time(item.t)
-                )
-            }
+        let Some(line) = render_item(r, style, item) else {
+            continue;
         };
+        if style.max_lines.is_some_and(|max| lines >= max) {
+            suppressed += 1;
+            continue;
+        }
         out.push_str(&line);
         out.push('\n');
         lines += 1;
+    }
+    if suppressed > 0 {
+        out.push_str(&format!(
+            "             ... truncated ({suppressed} more line{})\n",
+            if suppressed == 1 { "" } else { "s" }
+        ));
     }
     if !r.anomalies.is_clean() {
         out.push_str(&format!(
@@ -127,6 +74,83 @@ pub fn trace_report(r: &Reconstruction, style: &TraceStyle) -> String {
         ));
     }
     out
+}
+
+/// Renders one trace item, or `None` for items the style suppresses.
+fn render_item(
+    r: &Reconstruction,
+    style: &TraceStyle,
+    item: &crate::recon::TraceItem,
+) -> Option<String> {
+    let pad = " ".repeat(style.indent * item.depth);
+    let line = match item.kind {
+        ItemKind::Call {
+            sym,
+            net,
+            elapsed,
+            children,
+            closed,
+            ..
+        } => {
+            let name = r.syms.name(sym);
+            if !closed {
+                format!(
+                    "{} {}-> {} (open at capture end)",
+                    fmt_time(item.t),
+                    pad,
+                    name
+                )
+            } else if children == 0 {
+                format!("{} {}-> {} ({} us)", fmt_time(item.t), pad, name, net)
+            } else {
+                format!(
+                    "{} {}-> {} ({} us, {} total)",
+                    fmt_time(item.t),
+                    pad,
+                    name,
+                    net,
+                    elapsed
+                )
+            }
+        }
+        ItemKind::Return { sym, net, elapsed } => match sym {
+            Some(s) if r.syms.is_cswitch(s) => {
+                format!("{} {}<- {}", fmt_time(item.t), pad, r.syms.name(s))
+            }
+            Some(s) => format!(
+                "{} {}<- {} ({} us, {} total)",
+                fmt_time(item.t),
+                pad,
+                r.syms.name(s),
+                net,
+                elapsed
+            ),
+            None => {
+                if !style.close_nested {
+                    return None;
+                }
+                format!("{} {}<-", fmt_time(item.t), pad)
+            }
+        },
+        ItemKind::Inline { sym } => {
+            format!("{} {}== {}", fmt_time(item.t), pad, r.syms.name(sym))
+        }
+        ItemKind::SwitchIn { birth } => format!(
+            "{} <- ---- Context switch in{} ----",
+            fmt_time(item.t),
+            if birth { " (new process)" } else { "" }
+        ),
+        ItemKind::SessionBreak => {
+            if r.sessions <= 1 {
+                return None;
+            }
+            format!(
+                "{} ======== capture session boundary ========",
+                fmt_time(item.t)
+            )
+        }
+    };
+    Some(line)
 }
 
 #[cfg(test)]
@@ -178,6 +202,58 @@ mod tests {
         assert!(t.contains("== MGET"));
         // outer had a child, so it closes with a bare return.
         assert!(t.contains("0:000 050 <-"));
+    }
+
+    #[test]
+    fn truncation_is_explicit_and_counts_suppressed_lines() {
+        let tf = hwprof_tagfile::parse("outer/100\ninner/102\n").unwrap();
+        let mut recs = Vec::new();
+        for i in 0..10u32 {
+            recs.push(RawRecord {
+                tag: 102,
+                time: i * 10,
+            });
+            recs.push(RawRecord {
+                tag: 103,
+                time: i * 10 + 5,
+            });
+        }
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        let full = trace_report(&r, &TraceStyle::default());
+        let full_lines = full.lines().count();
+        let style = TraceStyle {
+            max_lines: Some(3),
+            ..TraceStyle::default()
+        };
+        let t = trace_report(&r, &style);
+        let expect = format!("... truncated ({} more lines)", full_lines - 3);
+        assert!(t.contains(&expect), "trace:\n{t}");
+        assert_eq!(t.lines().count(), 4, "3 lines + marker:\n{t}");
+        // A limit the trace fits under adds no marker.
+        let roomy = TraceStyle {
+            max_lines: Some(1000),
+            ..TraceStyle::default()
+        };
+        assert!(!trace_report(&r, &roomy).contains("truncated"));
+    }
+
+    #[test]
+    fn header_line_is_opt_in() {
+        let tf = hwprof_tagfile::parse("outer/100\n").unwrap();
+        let recs = [
+            RawRecord { tag: 100, time: 0 },
+            RawRecord { tag: 101, time: 9 },
+        ];
+        let (syms, ev) = decode(&recs, &tf);
+        let r = analyze(&syms, &ev);
+        assert!(!trace_report(&r, &TraceStyle::default()).contains("code path"));
+        let style = TraceStyle {
+            header: true,
+            ..TraceStyle::default()
+        };
+        let t = trace_report(&r, &style);
+        assert!(t.starts_with("    sec:ms  us  code path"), "trace:\n{t}");
     }
 
     #[test]

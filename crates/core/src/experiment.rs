@@ -15,7 +15,7 @@
 //!   analysis worker pool *while the workload is still running*, so a
 //!   capture is no longer bounded by the 16384-event RAM.
 
-use hwprof_analysis::{Analyzer, Anomalies, Reconstruction, StreamAnalyzer};
+use hwprof_analysis::{Analyzer, Anomalies, Exporter, Reconstruction, StreamAnalyzer};
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
 use hwprof_kernel386::kernel::{Kernel, KernelConfig};
@@ -29,7 +29,7 @@ use hwprof_profiler::{
     SupervisedRun, SupervisorPolicy, TagMask, Transport,
 };
 use hwprof_tagfile::{TagFile, TagKind};
-use hwprof_telemetry::{Registry, Snapshot};
+use hwprof_telemetry::{Registry, Snapshot, SpanLog};
 
 use crate::error::Error;
 
@@ -141,6 +141,7 @@ pub struct Experiment {
     faults: Option<(FaultSpec, u64)>,
     anomaly_limit_ppm: Option<u32>,
     telemetry: Option<Registry>,
+    journal: Option<SpanLog>,
 }
 
 impl Default for Experiment {
@@ -162,6 +163,7 @@ impl Experiment {
             faults: None,
             anomaly_limit_ppm: None,
             telemetry: None,
+            journal: None,
         }
     }
 
@@ -258,6 +260,20 @@ impl Experiment {
         self
     }
 
+    /// Records the capture pipeline's span journal into `log`: board
+    /// bank swaps and overflows, the supervisor's armed-bank spans,
+    /// dark windows, mask shifts and upload rounds, and the streaming
+    /// pipeline's per-bank analyze spans, all with simulated
+    /// timestamps.  Off by default; the simulated machine is
+    /// bit-identical with or without it.  Render the journal alongside
+    /// the kernel timeline with [`SupervisedCapture::export`] /
+    /// [`StreamCapture::export`].
+    #[must_use = "builder methods return the updated experiment"]
+    pub fn journal(mut self, log: &SpanLog) -> Self {
+        self.journal = Some(log.clone());
+        self
+    }
+
     /// Compiles, links, plugs the board in and spawns the scenario's
     /// processes; shared by both capture modes.
     fn prepare(self) -> Result<PreparedRun, Error> {
@@ -273,6 +289,7 @@ impl Experiment {
         make_tap: impl FnOnce(&Profiler, &TagFile) -> Box<dyn EpromTap>,
     ) -> Result<PreparedRun, Error> {
         let telemetry = self.telemetry;
+        let journal = self.journal;
         let scenario = self.scenario.ok_or(Error::MissingScenario)?;
         // The modified compiler pass; swtch is always tagged.
         let mut compiler = Compiler::new(500);
@@ -287,6 +304,9 @@ impl Experiment {
         let board = Profiler::new(self.board);
         if let Some(reg) = &telemetry {
             board.set_telemetry(reg);
+        }
+        if let Some(log) = &journal {
+            board.set_span_log(log);
         }
         if self.armed {
             board.set_switch(true);
@@ -314,6 +334,7 @@ impl Experiment {
             tagfile,
             link,
             telemetry,
+            journal,
         })
     }
 
@@ -396,6 +417,9 @@ impl Experiment {
         if let Some(reg) = &p.telemetry {
             analyzer.set_telemetry(reg);
         }
+        if let Some(log) = &p.journal {
+            analyzer.set_span_log(log);
+        }
         let feed: Box<dyn hwprof_profiler::BankSink> = match &injector {
             // Banks corrupt (or are refused) in transit to the workers.
             Some(inj) => Box::new(inj.sink(Box::new(analyzer.feed()?))),
@@ -428,6 +452,7 @@ impl Experiment {
             link: p.link,
             kernel,
             injected: injector.map(|inj| inj.counts()),
+            journal: p.journal,
         })
     }
 
@@ -485,6 +510,7 @@ impl Experiment {
         let sup_slot = &mut supervisor;
         let pol = policy.clone();
         let telem = self.telemetry.clone();
+        let jour = self.journal.clone();
         let p = self.prepare_with_tap(move |board, tagfile| {
             // The EE-PAL decode for this build: context-switch tags
             // always pass; pinned hot functions resolve by name.
@@ -504,6 +530,9 @@ impl Experiment {
             let sup = CaptureSupervisor::new(board.clone(), mask, pol, transport);
             if let Some(reg) = &telem {
                 sup.set_telemetry(reg);
+            }
+            if let Some(log) = &jour {
+                sup.set_span_log(log);
             }
             *sup_slot = Some(sup.clone());
             Box::new(sup)
@@ -537,6 +566,7 @@ impl Experiment {
             link: p.link,
             kernel,
             telemetry: p.telemetry,
+            journal: p.journal,
         })
     }
 }
@@ -573,6 +603,7 @@ struct PreparedRun {
     tagfile: TagFile,
     link: LinkResult,
     telemetry: Option<Registry>,
+    journal: Option<SpanLog>,
 }
 
 /// The upload: everything the run produced.
@@ -688,9 +719,24 @@ pub struct StreamCapture {
     /// Fault totals, when the run injected faults
     /// ([`Experiment::faults`]).
     pub injected: Option<InjectedFaults>,
+    /// The span journal the run recorded into, when
+    /// [`Experiment::journal`] was configured.
+    journal: Option<SpanLog>,
 }
 
 impl StreamCapture {
+    /// An [`Exporter`] over the streamed profile, carrying the run's
+    /// span journal when [`Experiment::journal`] was configured:
+    /// `.chrome_trace()` / `.speedscope()` / `.folded()` render it for
+    /// Perfetto, speedscope and flamegraph tooling.
+    pub fn export(&self) -> Exporter<'_> {
+        let e = Exporter::new(&self.profile);
+        match &self.journal {
+            Some(log) => e.spans(log),
+            None => e,
+        }
+    }
+
     /// Fraction of wall time the CPU was busy (from the scheduler, not
     /// the capture).
     pub fn busy_fraction(&self) -> f64 {
@@ -717,12 +763,29 @@ pub struct SupervisedCapture {
     /// The registry the run published into, when
     /// [`Experiment::telemetry`] was configured.
     telemetry: Option<Registry>,
+    /// The span journal the run recorded into, when
+    /// [`Experiment::journal`] was configured.
+    journal: Option<SpanLog>,
 }
 
 impl SupervisedCapture {
     /// The run's coverage ledger.
     pub fn coverage(&self) -> &Coverage {
         &self.run.coverage
+    }
+
+    /// An [`Exporter`] over the stitched profile, placed on the
+    /// supervised timeline (per-bank lanes, gap slices, mask-change
+    /// markers) and carrying the run's span journal when
+    /// [`Experiment::journal`] was configured: `.chrome_trace()` /
+    /// `.speedscope()` / `.folded()` render the whole capture —
+    /// kernel activity and pipeline — as one trace.
+    pub fn export(&self) -> Exporter<'_> {
+        let e = Exporter::new(&self.profile).run(&self.run);
+        match &self.journal {
+            Some(log) => e.spans(log),
+            None => e,
+        }
     }
 
     /// A point-in-time snapshot of the run's telemetry registry, when

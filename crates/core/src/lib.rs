@@ -46,12 +46,12 @@ pub use error::Error;
 pub use experiment::{
     Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture, SupervisedCapture,
 };
-pub use hwprof_analysis::{Analyzer, AnalyzerError, Anomalies};
+pub use hwprof_analysis::{validate_json, Analyzer, AnalyzerError, Anomalies, Exporter, JsonValue};
 pub use hwprof_profiler::{
     Coverage, FaultInjector, FaultSpec, FlakyTransport, HealthReport, InjectedFaults,
     MemoryTransport, RetryPolicy, SupervisorPolicy, TagMaskLevel, Transport,
 };
-pub use hwprof_telemetry::Registry;
+pub use hwprof_telemetry::{Registry, SpanEvent, SpanLog, SpanName, SpanPhase, SpanTrack};
 
 // Re-export the component crates under one roof.
 pub use hwprof_analysis as analysis;

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hwprof_machine::EpromTap;
-use hwprof_telemetry::{Counter, Gauge, Registry};
+use hwprof_telemetry::{Counter, Gauge, Registry, SpanLog, SpanName, SpanTrack};
 use parking_lot::Mutex;
 
 use crate::record::{serialize_raw, RawRecord};
@@ -157,6 +157,9 @@ struct BoardState {
     banks_drained: u64,
     /// Live self-metrics; `None` keeps the hot path untouched.
     metrics: Option<BoardMetrics>,
+    /// Span journal; bank swaps and overflows drop instants here.
+    /// `None` keeps the hot path untouched, like `metrics`.
+    journal: Option<SpanLog>,
 }
 
 impl BoardState {
@@ -209,6 +212,7 @@ impl Profiler {
                 drain: None,
                 banks_drained: 0,
                 metrics: None,
+                journal: None,
             })),
         }
     }
@@ -332,6 +336,15 @@ impl Profiler {
     pub fn set_telemetry(&self, reg: &Registry) {
         self.state.lock().metrics = Some(BoardMetrics::new(reg));
     }
+
+    /// Attaches a span journal: bank swaps record a `drain` instant
+    /// (`id` = bank ordinal, `arg` = events in the bank) and overflow
+    /// an `overflow` instant, both on the board track at trigger time.
+    /// Purely observational — the capture stream is bit-identical with
+    /// or without it.
+    pub fn set_span_log(&self, log: &SpanLog) {
+        self.state.lock().journal = Some(log.clone());
+    }
 }
 
 impl EpromTap for Profiler {
@@ -356,6 +369,15 @@ impl EpromTap for Profiler {
                     if let Some(m) = &st.metrics {
                         m.banks_drained.inc();
                     }
+                    if let Some(j) = &st.journal {
+                        j.instant(
+                            SpanTrack::Board,
+                            SpanName::Drain,
+                            now_us,
+                            st.banks_drained - 1,
+                            full.len() as u64,
+                        );
+                    }
                     if !sink.bank(full) {
                         // No empty RAM ready: overflow, stop storing.
                         st.overflowed = true;
@@ -364,6 +386,9 @@ impl EpromTap for Profiler {
                         if let Some(m) = &st.metrics {
                             m.overflows.inc();
                             m.missed.inc();
+                        }
+                        if let Some(j) = &st.journal {
+                            j.instant(SpanTrack::Board, SpanName::Overflow, now_us, 0, 0);
                         }
                         return;
                     }
@@ -377,6 +402,9 @@ impl EpromTap for Profiler {
                     if let Some(m) = &st.metrics {
                         m.overflows.inc();
                         m.missed.inc();
+                    }
+                    if let Some(j) = &st.journal {
+                        j.instant(SpanTrack::Board, SpanName::Overflow, now_us, 0, 0);
                     }
                     return;
                 }

@@ -38,7 +38,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use hwprof_machine::EpromTap;
-use hwprof_telemetry::{Counter, Gauge, Histo, Registry};
+use hwprof_telemetry::{Counter, Gauge, Histo, Registry, SpanLog, SpanName, SpanTrack};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -696,6 +696,19 @@ struct SupervisorState {
     finished: bool,
     /// Live self-metrics; `None` keeps the trigger path atom-free.
     metrics: Option<SupMetrics>,
+    /// Span journal for the unified timeline export; purely
+    /// observational, so the supervised machine is bit-identical with
+    /// or without it.
+    journal: Option<SpanLog>,
+}
+
+/// Stable `arg` encoding for dark-window spans in the journal.
+fn cause_arg(c: GapCause) -> u64 {
+    match c {
+        GapCause::Overflow => 0,
+        GapCause::Drain => 1,
+        GapCause::BankLost => 2,
+    }
 }
 
 impl SupervisorState {
@@ -726,6 +739,24 @@ impl SupervisorState {
                 GapCause::BankLost => m.gap_us_bank_lost.add(gap.span_us()),
             }
         }
+        if let Some(j) = &self.journal {
+            // One dark slice per gap, id = gap ordinal, arg = cause.
+            let id = self.gaps.len() as u64;
+            j.begin(
+                SpanTrack::Supervisor,
+                SpanName::Dark,
+                gap.start_us,
+                id,
+                cause_arg(gap.cause),
+            );
+            j.end(
+                SpanTrack::Supervisor,
+                SpanName::Dark,
+                gap.end_us,
+                id,
+                cause_arg(gap.cause),
+            );
+        }
         self.gaps.push(gap);
     }
 
@@ -738,10 +769,16 @@ impl SupervisorState {
     }
 
     /// One upload round for a bank: first try plus bounded backoff
-    /// retries.  Returns `(delivered, dark_time_spent)`.
-    fn try_deliver(&mut self, index: u64, records: &[RawRecord]) -> (bool, u64) {
+    /// retries.  `now` is only a journal timestamp (the round's spans
+    /// land at `now` + accumulated backoff).  Returns
+    /// `(delivered, dark_time_spent)`.
+    fn try_deliver(&mut self, now: u64, index: u64, records: &[RawRecord]) -> (bool, u64) {
         let mut dark = 0u64;
         let attempts = self.policy.retry.max_attempts.max(1);
+        if let Some(j) = &self.journal {
+            j.begin(SpanTrack::Transport, SpanName::Upload, now, index, 0);
+        }
+        let mut delivered = false;
         for attempt in 0..attempts {
             if attempt > 0 {
                 let backoff = self.policy.retry.backoff_us(attempt, &mut self.rng);
@@ -751,12 +788,24 @@ impl SupervisorState {
                     m.retries.inc();
                     m.backoff_us.observe(backoff);
                 }
+                if let Some(j) = &self.journal {
+                    j.instant(
+                        SpanTrack::Transport,
+                        SpanName::Retry,
+                        now + dark,
+                        index,
+                        u64::from(attempt),
+                    );
+                }
             }
             if let Some(m) = &self.metrics {
                 m.attempts.inc();
             }
             match self.transport.upload(index, records) {
-                Ok(()) => return (true, dark),
+                Ok(()) => {
+                    delivered = true;
+                    break;
+                }
                 Err(TransportError) => {
                     self.cov.transport_failures += 1;
                     if let Some(m) = &self.metrics {
@@ -765,12 +814,22 @@ impl SupervisorState {
                 }
             }
         }
-        (false, dark)
+        if let Some(j) = &self.journal {
+            j.end(
+                SpanTrack::Transport,
+                SpanName::Upload,
+                now + dark,
+                index,
+                u64::from(delivered),
+            );
+        }
+        (delivered, dark)
     }
 
     /// Re-uploads shelved banks after a successful delivery, oldest
-    /// first, one attempt each — stopping at the first failure.
-    fn flush_spill_opportunistic(&mut self) {
+    /// first, one attempt each — stopping at the first failure.  `now`
+    /// is only a journal timestamp.
+    fn flush_spill_opportunistic(&mut self, now: u64) {
         while let Some(front) = self.spill.front() {
             let (index, records) = (front.index, front.records.clone());
             if let Some(m) = &self.metrics {
@@ -778,6 +837,9 @@ impl SupervisorState {
             }
             match self.transport.upload(index, &records) {
                 Ok(()) => {
+                    if let Some(j) = &self.journal {
+                        j.instant(SpanTrack::Transport, SpanName::Flush, now, index, 1);
+                    }
                     let s = self.spill.pop_front().expect("front exists");
                     self.deliver(s);
                 }
@@ -785,6 +847,9 @@ impl SupervisorState {
                     self.cov.transport_failures += 1;
                     if let Some(m) = &self.metrics {
                         m.failures.inc();
+                    }
+                    if let Some(j) = &self.journal {
+                        j.instant(SpanTrack::Transport, SpanName::Flush, now, index, 0);
                     }
                     break;
                 }
@@ -817,6 +882,16 @@ impl SupervisorState {
             records,
         };
         self.next_bank += 1;
+        if let Some(j) = &self.journal {
+            // Close the armed-bank span opened at arm/re-arm time.
+            j.end(
+                SpanTrack::Supervisor,
+                SpanName::Bank,
+                now,
+                session.index,
+                session.records.len() as u64,
+            );
+        }
 
         // Ladder: how long would the *unmasked* trigger stream take to
         // fill one bank?  Level-invariant, so no oscillation from the
@@ -839,12 +914,30 @@ impl SupervisorState {
                     m.mask_downgrades.inc();
                     m.mask_level.set(self.level.idx() as u64);
                 }
+                if let Some(j) = &self.journal {
+                    j.instant(
+                        SpanTrack::Supervisor,
+                        SpanName::MaskDown,
+                        now,
+                        self.level.idx() as u64,
+                        fill_est,
+                    );
+                }
             } else if fill_est > self.policy.upgrade_fill_us && self.level != TagMaskLevel::All {
                 self.level = self.level.up();
                 self.cov.mask_upgrades += 1;
                 if let Some(m) = &self.metrics {
                     m.mask_upgrades.inc();
                     m.mask_level.set(self.level.idx() as u64);
+                }
+                if let Some(j) = &self.journal {
+                    j.instant(
+                        SpanTrack::Supervisor,
+                        SpanName::MaskUp,
+                        now,
+                        self.level.idx() as u64,
+                        fill_est,
+                    );
                 }
             }
         }
@@ -856,7 +949,7 @@ impl SupervisorState {
         let delivered = if breaker_open {
             false
         } else {
-            let (ok, backoff) = self.try_deliver(session.index, &session.records);
+            let (ok, backoff) = self.try_deliver(now, session.index, &session.records);
             dark += backoff;
             if ok {
                 self.breaker_open_until = None;
@@ -871,13 +964,31 @@ impl SupervisorState {
                     m.breaker_trips.inc();
                     m.breaker_open.set(1);
                 }
+                if let Some(j) = &self.journal {
+                    j.instant(
+                        SpanTrack::Transport,
+                        SpanName::Breaker,
+                        now + dark,
+                        session.index,
+                        self.policy.breaker_cooldown_us,
+                    );
+                }
                 false
             }
         };
         if delivered {
             self.deliver(session);
-            self.flush_spill_opportunistic();
+            self.flush_spill_opportunistic(now);
         } else if self.spill.len() < self.policy.spill_banks {
+            if let Some(j) = &self.journal {
+                j.instant(
+                    SpanTrack::Supervisor,
+                    SpanName::Spill,
+                    now,
+                    session.index,
+                    self.spill.len() as u64 + 1,
+                );
+            }
             self.spill.push_back(session);
             if let Some(m) = &self.metrics {
                 m.spill_depth.set(self.spill.len() as u64);
@@ -888,6 +999,15 @@ impl SupervisorState {
             self.cov.banks_lost += 1;
             if let Some(m) = &self.metrics {
                 m.banks_lost.inc();
+            }
+            if let Some(j) = &self.journal {
+                j.instant(
+                    SpanTrack::Supervisor,
+                    SpanName::BankLost,
+                    now,
+                    session.index,
+                    session.records.len() as u64,
+                );
             }
             self.push_gap(Gap {
                 start_us: session.start_us,
@@ -929,6 +1049,15 @@ impl SupervisorState {
                         let records = self.board.records();
                         self.board.set_switch(false);
                         if records.is_empty() {
+                            if let Some(j) = &self.journal {
+                                j.end(
+                                    SpanTrack::Supervisor,
+                                    SpanName::Bank,
+                                    end,
+                                    self.next_bank,
+                                    0,
+                                );
+                            }
                             if end > self.session_start {
                                 self.idle.push(IdleSpan {
                                     start_us: self.session_start,
@@ -945,7 +1074,16 @@ impl SupervisorState {
                                 records,
                             };
                             self.next_bank += 1;
-                            let (ok, _) = self.try_deliver(session.index, &session.records);
+                            if let Some(j) = &self.journal {
+                                j.end(
+                                    SpanTrack::Supervisor,
+                                    SpanName::Bank,
+                                    end,
+                                    session.index,
+                                    session.records.len() as u64,
+                                );
+                            }
+                            let (ok, _) = self.try_deliver(end, session.index, &session.records);
                             if ok {
                                 self.deliver(session);
                             } else {
@@ -958,13 +1096,22 @@ impl SupervisorState {
             // Final spill flush: each shelved bank gets a full retry
             // round; what still fails is lost.
             while let Some(front) = self.spill.pop_front() {
-                let (ok, _) = self.try_deliver(front.index, &front.records);
+                let (ok, _) = self.try_deliver(end, front.index, &front.records);
                 if ok {
                     self.deliver(front);
                 } else {
                     self.cov.banks_lost += 1;
                     if let Some(m) = &self.metrics {
                         m.banks_lost.inc();
+                    }
+                    if let Some(j) = &self.journal {
+                        j.instant(
+                            SpanTrack::Supervisor,
+                            SpanName::BankLost,
+                            end,
+                            front.index,
+                            front.records.len() as u64,
+                        );
                     }
                     self.push_gap(Gap {
                         start_us: front.start_us,
@@ -1066,6 +1213,7 @@ impl CaptureSupervisor {
                 cov: Coverage::empty(),
                 finished: false,
                 metrics: None,
+                journal: None,
             })),
         }
     }
@@ -1080,6 +1228,18 @@ impl CaptureSupervisor {
         let mut s = self.state.lock();
         s.board.set_telemetry(reg);
         s.metrics = Some(SupMetrics::new(reg));
+    }
+
+    /// Attaches a span journal: armed-bank begin/end pairs, dark-window
+    /// slices, re-arm / mask-shift / spill / loss instants, and upload
+    /// rounds with their retries all land in `log` with simulated
+    /// timestamps (the wrapped board gets the journal too).  Purely
+    /// observational: the supervised run is bit-identical with or
+    /// without it.
+    pub fn set_span_log(&self, log: &SpanLog) {
+        let mut s = self.state.lock();
+        s.board.set_span_log(log);
+        s.journal = Some(log.clone());
     }
 
     /// The current mask level.
@@ -1114,6 +1274,15 @@ impl EpromTap for CaptureSupervisor {
             st.session_start = now_us;
             st.board.clear();
             st.board.set_switch(true);
+            if let Some(j) = &st.journal {
+                j.begin(
+                    SpanTrack::Supervisor,
+                    SpanName::Bank,
+                    now_us,
+                    st.next_bank,
+                    0,
+                );
+            }
         }
         if now_us > st.last_seen {
             st.last_seen = now_us;
@@ -1141,6 +1310,22 @@ impl EpromTap for CaptureSupervisor {
             st.session_triggers = 0;
             if let Some(m) = &st.metrics {
                 m.rearms.inc();
+            }
+            if let Some(j) = &st.journal {
+                j.instant(
+                    SpanTrack::Supervisor,
+                    SpanName::Rearm,
+                    until,
+                    st.next_bank,
+                    0,
+                );
+                j.begin(
+                    SpanTrack::Supervisor,
+                    SpanName::Bank,
+                    until,
+                    st.next_bank,
+                    0,
+                );
             }
         }
         st.session_triggers += 1;

@@ -40,6 +40,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
+mod spans;
+
+pub use spans::{SpanEvent, SpanLog, SpanName, SpanPhase, SpanTrack, SPAN_LOG_DEFAULT_CAPACITY};
+
 /// Number of log2 buckets in a [`Histo`]: bucket `i` counts samples
 /// whose bit length is `i`, i.e. `0` goes to bucket 0 and a value `v`
 /// with `2^(i-1) <= v < 2^i` goes to bucket `i`.  Bucket 64 holds the
