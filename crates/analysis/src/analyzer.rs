@@ -18,10 +18,10 @@
 //!   budget](Analyzer::limit_ppm) in parts per million of captured
 //!   tags, refused with [`AnalyzerError::AnomalyLimit`] when crossed.
 //!
-//! The old free functions survive as thin `#[deprecated]` wrappers so
-//! existing callers keep compiling, but every combination they cover
-//! (and several they never did, like recovering + parallel) is one
-//! builder chain here:
+//! The old free functions have been deleted (they lived out PRs 4–5 as
+//! thin `#[deprecated]` wrappers); every combination they covered (and
+//! several they never did, like recovering + parallel) is one builder
+//! chain here:
 //!
 //! ```
 //! use hwprof_analysis::Analyzer;

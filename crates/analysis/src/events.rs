@@ -33,6 +33,16 @@ impl Symbols {
         s
     }
 
+    /// Builds a symbol table from bare names (no context-switch
+    /// markers).  Capture backends that never see hardware tags —
+    /// clock sampling, event counters — normalize their output against
+    /// the kernel's function table with this.
+    pub fn from_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let cswitch = vec![false; names.len()];
+        Symbols { names, cswitch }
+    }
+
     /// The name of `sym`.
     pub fn name(&self, sym: SymId) -> &str {
         &self.names[sym as usize]

@@ -41,12 +41,8 @@ pub use events::{
     TimeUnwrapper, TIME_JUMP_THRESHOLD,
 };
 pub use export::{validate_json, Exporter, JsonValue};
-#[allow(deprecated)]
-pub use recon::{analyze, analyze_iter, analyze_parallel, analyze_sessions};
 pub use recon::{reconstruct_session, reconstruct_session_recovering, FnAgg, Reconstruction};
 pub use report::summary_report;
-#[allow(deprecated)]
-pub use stitch::{analyze_stitched, analyze_stitched_parallel, analyze_stitched_streaming};
 pub use stitch::{
     scale_factor, scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,
 };

@@ -700,49 +700,6 @@ pub fn reconstruct_session_recovering(syms: &Symbols, events: &[Event]) -> Recon
     r.finish()
 }
 
-/// Analyzes an iterator of capture sessions, folded session by session.
-///
-/// Deprecated thin wrapper over the [`crate::Analyzer`] facade (which
-/// owns the base fold every flavour goes through).
-#[deprecated(note = "use Analyzer::new(&syms).sessions_iter(sessions)")]
-pub fn analyze_iter<I>(syms: &Symbols, sessions: I) -> Reconstruction
-where
-    I: IntoIterator,
-    I::Item: AsRef<[Event]>,
-{
-    crate::Analyzer::new(syms)
-        .sessions_iter(sessions)
-        .expect("no anomaly budget configured")
-}
-
-/// Analyzes one capture session.
-#[deprecated(note = "use Analyzer::new(&syms).session(events)")]
-pub fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
-    crate::Analyzer::new(syms)
-        .session(events)
-        .expect("no anomaly budget configured")
-}
-
-/// Analyzes several concatenated capture sessions (the paper's Figure 3
-/// header shows 28060 tags — more than one 16384-event RAM's worth).
-#[deprecated(note = "use Analyzer::new(&syms).sessions(sessions)")]
-pub fn analyze_sessions(syms: &Symbols, sessions: &[Vec<Event>]) -> Reconstruction {
-    crate::Analyzer::new(syms)
-        .sessions(sessions)
-        .expect("no anomaly budget configured")
-}
-
-/// Analyzes sessions fanned out across `workers` threads, merging the
-/// per-session results in session order; bit-identical to
-/// [`analyze_sessions`].
-#[deprecated(note = "use Analyzer::new(&syms).workers(n).sessions(sessions)")]
-pub fn analyze_parallel(syms: &Symbols, sessions: &[Vec<Event>], workers: usize) -> Reconstruction {
-    crate::Analyzer::new(syms)
-        .workers(workers)
-        .sessions(sessions)
-        .expect("no anomaly budget configured")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,8 +711,8 @@ mod tests {
         RawRecord { tag, time }
     }
 
-    // Shadow the deprecated free functions: these tests pin the
-    // reconstruction semantics, which now live behind the facade.
+    // These tests pin the reconstruction semantics, which live behind
+    // the facade.
     fn analyze(syms: &Symbols, events: &[Event]) -> Reconstruction {
         crate::Analyzer::new(syms).session(events).expect("ungated")
     }
@@ -767,23 +724,6 @@ mod tests {
     }
 
     const TF: &str = "a/100\nb/102\nc/104\nswtch/200!\nMARK/300=\n";
-
-    /// The deprecated wrappers stay thin: same answers as the facade.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_agree_with_facade() {
-        let tf = parse(TF).unwrap();
-        let recs = [rec(100, 0), rec(102, 20), rec(103, 50), rec(101, 100)];
-        let (syms, ev) = decode(&recs, &tf);
-        let facade = analyze(&syms, &ev);
-        assert_eq!(super::analyze(&syms, &ev), facade);
-        assert_eq!(super::analyze_iter(&syms, [ev.as_slice()]), facade);
-        assert_eq!(
-            super::analyze_sessions(&syms, std::slice::from_ref(&ev)),
-            facade
-        );
-        assert_eq!(super::analyze_parallel(&syms, &[ev], 2), facade);
-    }
 
     #[test]
     fn simple_nesting() {

@@ -40,8 +40,10 @@ pub fn summary_report(r: &Reconstruction, top: Option<usize>) -> String {
     ));
     out.push_str("------------------------------------------------------------------------\n");
     out.push_str("  Elapsed      Net  # calls    (max/avg/min)    % real   % net\n");
+    // A sampled normalization attributes net time without call counts,
+    // so presence is "was ever observed", not "was ever called".
     let mut order: Vec<SymId> = (0..r.stats.len() as SymId)
-        .filter(|&s| r.stats[s as usize].calls > 0)
+        .filter(|&s| r.stats[s as usize].calls > 0 || r.stats[s as usize].net > 0)
         .collect();
     order.sort_by(|&a, &b| {
         r.stats[b as usize]

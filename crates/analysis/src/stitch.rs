@@ -61,46 +61,6 @@ pub fn stitch_events(tf: &TagFile, run: &SupervisedRun) -> (Symbols, Vec<Vec<cra
     (syms, sessions)
 }
 
-/// Stitches a supervised run sequentially: per-bank strict decode and
-/// reconstruction, merged in bank order, coverage folded in.
-#[deprecated(note = "use Analyzer::for_tagfile(tf).run(run)")]
-pub fn analyze_stitched(tf: &TagFile, run: &SupervisedRun) -> Reconstruction {
-    crate::Analyzer::for_tagfile(tf)
-        .run(run)
-        .expect("no anomaly budget configured")
-}
-
-/// Stitches a supervised run with sessions fanned out across `workers`
-/// threads; bit-identical to [`analyze_stitched`].
-#[deprecated(note = "use Analyzer::for_tagfile(tf).workers(n).run(run)")]
-pub fn analyze_stitched_parallel(
-    tf: &TagFile,
-    run: &SupervisedRun,
-    workers: usize,
-) -> Reconstruction {
-    crate::Analyzer::for_tagfile(tf)
-        .workers(workers)
-        .run(run)
-        .expect("no anomaly budget configured")
-}
-
-/// Stitches a supervised run through the streaming pipeline (each
-/// session fed as one bank); bit-identical to [`analyze_stitched`].
-///
-/// Returns `None` only if the pipeline misbehaves (it cannot here: the
-/// feed is created and dropped before `finish`).
-#[deprecated(note = "use Analyzer::for_tagfile(tf).workers(n).run_streaming(run)")]
-pub fn analyze_stitched_streaming(
-    tf: &TagFile,
-    run: &SupervisedRun,
-    workers: usize,
-) -> Option<Reconstruction> {
-    crate::Analyzer::for_tagfile(tf)
-        .workers(workers)
-        .run_streaming(run)
-        .ok()
-}
-
 /// Classifies when `name`'s tags were visible during a supervised run.
 pub fn visibility(tf: &TagFile, run: &SupervisedRun, name: &str) -> Option<MaskVisibility> {
     let entry = tf.entry_of(name)?;
@@ -227,23 +187,6 @@ mod tests {
             let streamed = a.run_streaming(&run).expect("pipeline open");
             assert_eq!(seq, streamed, "streaming({workers}) diverged");
         }
-    }
-
-    /// The deprecated free functions are thin wrappers: they must keep
-    /// returning exactly what the facade returns.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_stitch_wrappers_agree_with_facade() {
-        let (tf, run) = supervised_fixture();
-        let facade = crate::Analyzer::for_tagfile(&tf)
-            .run(&run)
-            .expect("ungated");
-        assert_eq!(analyze_stitched(&tf, &run), facade);
-        assert_eq!(analyze_stitched_parallel(&tf, &run, 2), facade);
-        assert_eq!(
-            analyze_stitched_streaming(&tf, &run, 2).expect("pipeline open"),
-            facade
-        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! sessions are reconstructed in isolation
 //! ([`crate::recon::reconstruct_session`]) and merged in bank order
 //! with the [`crate::Reconstruction`] monoid, so the result is
-//! bit-identical to batch [`crate::analyze_sessions`] over the same
+//! bit-identical to a batch [`crate::Analyzer::sessions`] pass over the same
 //! banks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -215,8 +215,8 @@ pub struct StreamAnalyzer {
 /// How a [`StreamAnalyzer`] treats malformed banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
-    /// Clean decode + strict reconstruction (bit-identical to batch
-    /// [`crate::analyze_sessions`]).
+    /// Clean decode + strict reconstruction (bit-identical to a batch
+    /// [`crate::Analyzer::sessions`] pass).
     Strict,
     /// Recovery decode + resynchronizing reconstruction, anomalies
     /// classified per bank (bit-identical to batch recovery analysis

@@ -3,8 +3,19 @@
 //! Instructive precisely because of what it *cannot* say — it answers
 //! "how many packets" but never "where did the time go", the paper's
 //! core complaint about counters.
+//!
+//! The [`CounterModel`] half follows CounterPoint's lead: hardware
+//! event counters cannot locate time themselves, but each one can be
+//! *anchored* to the kernel function that increments it, turning the
+//! counter into (a) a crude time estimate (count × a fixed per-event
+//! cost) and (b) a refutation cross-check against any richer profile
+//! claiming to have observed the same events.
 
-use hwprof_kernel386::kernel::Kernel;
+use hwprof_analysis::Reconstruction;
+use hwprof_kernel386::funcs::KFn;
+use hwprof_kernel386::kernel::{KernStats, Kernel};
+
+use crate::sampling::kernel_symbols;
 
 /// Renders the classic counters dump (vmstat/netstat flavour).
 pub fn counters_report(k: &Kernel) -> String {
@@ -31,6 +42,153 @@ pub fn counters_report(k: &Kernel) -> String {
         out.push_str(&format!("{name:>18} {v:>10}   ({}/s)\n", per_sec(v)));
     }
     out
+}
+
+/// One counter anchored to the kernel function that increments it.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterAnchor {
+    /// Which `KernStats` counter this is.
+    pub counter: &'static str,
+    /// The kernel function each increment attributes to.
+    pub function: KFn,
+    /// Fixed cost estimate charged per event, in microseconds.  These
+    /// are static guesses — the whole point of the model is that they
+    /// are *not* measured, which is why counter profiles carry the
+    /// largest declared bias of any backend.
+    pub per_event_us: u64,
+}
+
+/// The static anchor table mapping every always-on `KernStats` counter
+/// to a kernel function and a per-event cost guess.
+#[derive(Debug, Clone)]
+pub struct CounterModel {
+    /// Anchors, one per modelled counter.
+    pub anchors: Vec<CounterAnchor>,
+}
+
+impl Default for CounterModel {
+    fn default() -> Self {
+        let a = |counter, function, per_event_us| CounterAnchor {
+            counter,
+            function,
+            per_event_us,
+        };
+        CounterModel {
+            anchors: vec![
+                a("ticks", KFn::Hardclock, 94),
+                a("intrs", KFn::IsaIntr, 24),
+                a("cswitches", KFn::Swtch, 30),
+                a("syscalls", KFn::Syscall, 40),
+                a("packets_in", KFn::Ipintr, 150),
+                a("packets_out", KFn::IpOutput, 100),
+                a("disk_xfers", KFn::WdIntr, 200),
+                a("page_faults", KFn::VmFault, 250),
+            ],
+        }
+    }
+}
+
+/// One CounterPoint-style refutation check: an always-on counter
+/// compared against the call count a profile claims for the anchored
+/// function.  A profile that disagrees wildly with a free hardware
+/// counter has refuted itself.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// Counter name.
+    pub counter: &'static str,
+    /// Anchored function name.
+    pub function: &'static str,
+    /// Events the counter saw.
+    pub counted: u64,
+    /// Calls the profile claims for the anchored function.
+    pub profiled: u64,
+    /// Whether the two agree within `tolerance` (relative, plus an
+    /// absolute slack of 2 events for edge effects at run boundaries).
+    pub agrees: bool,
+}
+
+impl CounterModel {
+    fn value(s: &KernStats, counter: &str) -> u64 {
+        match counter {
+            "ticks" => s.ticks,
+            "intrs" => s.intrs,
+            "cswitches" => s.cswitches,
+            "syscalls" => s.syscalls,
+            "packets_in" => s.packets_in,
+            "packets_out" => s.packets_out,
+            "disk_xfers" => s.disk_xfers,
+            "page_faults" => s.page_faults,
+            _ => 0,
+        }
+    }
+
+    /// Normalizes a counter dump into the [`Reconstruction`] monoid:
+    /// each anchored counter contributes `count` calls and
+    /// `count × per_event_us` of net/elapsed time to its function.
+    ///
+    /// Linear by construction: every populated per-function field is
+    /// either proportional to the count or (min/max) a constant that
+    /// only appears when the count is non-zero, and `sessions` stays 0
+    /// — so any additive split of the counters merges bit-identically,
+    /// the law `backend_props` pins.
+    pub fn normalize(&self, s: &KernStats) -> Reconstruction {
+        let mut r = Reconstruction::empty(kernel_symbols());
+        let mut total = 0u64;
+        for a in &self.anchors {
+            let count = Self::value(s, a.counter);
+            if count == 0 {
+                continue;
+            }
+            let i = a.function.idx();
+            let t = count * a.per_event_us;
+            let st = &mut r.stats[i];
+            st.min_net = if st.calls == 0 {
+                a.per_event_us
+            } else {
+                st.min_net.min(a.per_event_us)
+            };
+            st.max_net = st.max_net.max(a.per_event_us);
+            st.calls += count;
+            st.elapsed += t;
+            st.net += t;
+            total += t;
+            r.tags += count as usize;
+        }
+        r.total_elapsed = total;
+        r
+    }
+
+    /// Refutes (or fails to refute) a profile's call counts against the
+    /// always-on counters.  `tolerance` is the allowed relative error
+    /// (e.g. 0.05 for 5%); counters the profile did not observe at all
+    /// (function absent from its symbol table) are skipped.
+    pub fn cross_checks(
+        &self,
+        s: &KernStats,
+        profile: &Reconstruction,
+        tolerance: f64,
+    ) -> Vec<CrossCheck> {
+        let mut out = Vec::new();
+        for a in &self.anchors {
+            let counted = Self::value(s, a.counter);
+            let Some(i) =
+                (0..profile.syms.len()).find(|&i| profile.syms.name(i as _) == a.function.name())
+            else {
+                continue;
+            };
+            let profiled = profile.stats[i].calls;
+            let diff = counted.abs_diff(profiled);
+            let slack = ((counted as f64) * tolerance).ceil() as u64 + 2;
+            out.push(CrossCheck {
+                counter: a.counter,
+                function: a.function.name(),
+                counted,
+                profiled,
+                agrees: diff <= slack,
+            });
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,15 @@
 //! The simulated kernel exposes both (its `KernStats` counters and the
 //! `Sampling` hook in `gatherstats`); this crate scores their output
 //! against the zero-perturbation ground-truth oracle.
+//!
+//! Since the capture-backend redesign, both techniques also *normalize*
+//! into the analysis pipeline's `Reconstruction` monoid — see
+//! [`SampleProfile::normalize`](sampling::SampleProfile::normalize) and
+//! [`CounterModel::normalize`](counters::CounterModel::normalize) — so
+//! the same reports, exports, and comparisons run over all of them.
 
 pub mod counters;
 pub mod sampling;
 
-pub use counters::counters_report;
-pub use sampling::{sampling_accuracy, SamplingScore};
+pub use counters::{counters_report, CounterAnchor, CounterModel, CrossCheck};
+pub use sampling::{kernel_symbols, sampling_accuracy, SampleProfile, SamplingScore};

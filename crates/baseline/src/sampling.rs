@@ -1,6 +1,9 @@
-//! Scoring a clock-sampled profile against the ground truth.
+//! Scoring a clock-sampled profile against the ground truth, and
+//! normalizing one into the analysis pipeline's [`Reconstruction`]
+//! monoid (the capture-backend path).
 
-use hwprof_kernel386::funcs::{KFn, NFUNCS};
+use hwprof_analysis::{Reconstruction, Symbols};
+use hwprof_kernel386::funcs::{KFn, FUNCS, NFUNCS};
 use hwprof_kernel386::kernel::Kernel;
 
 /// How well a sampled profile approximates the true time distribution.
@@ -82,7 +85,8 @@ fn sample_shares(k: &Kernel) -> Vec<f64> {
 
 fn top5(shares: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..shares.len()).collect();
-    idx.sort_by(|&a, &b| shares[b].partial_cmp(&shares[a]).expect("finite"));
+    // total_cmp: never panics, even if a share upstream went NaN.
+    idx.sort_by(|&a, &b| shares[b].total_cmp(&shares[a]));
     idx.truncate(5);
     idx.into_iter().filter(|&i| shares[i] > 0.0).collect()
 }
@@ -134,6 +138,74 @@ pub fn sampling_accuracy(k: &Kernel) -> SamplingScore {
         missed_us,
         self_blind_us,
     }
+}
+
+/// A sampled profile lifted out of the kernel: what the clock-sampling
+/// capture backend uploads instead of a board RAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleProfile {
+    /// Effective sampling rate (statclock if configured, else
+    /// hardclock).
+    pub rate_hz: u64,
+    /// Samples per kernel function (indexed by `KFn as usize`).
+    pub counts: Vec<u64>,
+    /// Samples that landed in the idle loop.
+    pub idle_samples: u64,
+    /// Samples that landed in user mode.
+    pub user_samples: u64,
+    /// Total samples.
+    pub total: u64,
+}
+
+impl SampleProfile {
+    /// Lifts the sampler state out of a finished kernel.
+    pub fn from_kernel(k: &Kernel) -> Self {
+        SampleProfile {
+            rate_hz: k.config.statclock_hz.unwrap_or(k.config.clock_hz),
+            counts: k.sampling.counts.clone(),
+            idle_samples: k.sampling.idle_samples,
+            user_samples: k.sampling.user_samples,
+            total: k.sampling.total,
+        }
+    }
+
+    /// The sampling period in microseconds (exact for the classic
+    /// 100/1000/5000 Hz rates).
+    pub fn period_us(&self) -> u64 {
+        1_000_000 / self.rate_hz.max(1)
+    }
+
+    /// Normalizes this profile into the [`Reconstruction`] monoid: each
+    /// sample becomes one period of attributed time against the kernel
+    /// function table ([`kernel_symbols`]), idle and user samples land
+    /// in `idle`, and `tags` counts the samples.
+    ///
+    /// Every populated field is linear in the sample counts and the
+    /// fields a sampler cannot know (calls, min/max, trace, sessions)
+    /// stay at the merge identity, so splitting the counts any way and
+    /// merging the per-chunk normalizations is bit-identical to
+    /// normalizing the whole profile — the monoid law the backend
+    /// property suite pins.
+    pub fn normalize(&self) -> Reconstruction {
+        let period = self.period_us();
+        let mut r = Reconstruction::empty(kernel_symbols());
+        for (i, &c) in self.counts.iter().take(NFUNCS).enumerate() {
+            let t = c * period;
+            r.stats[i].elapsed = t;
+            r.stats[i].net = t;
+        }
+        r.idle = (self.idle_samples + self.user_samples) * period;
+        r.total_elapsed = self.total * period;
+        r.tags = self.total as usize;
+        r
+    }
+}
+
+/// The kernel's function table as an analysis symbol table, in `KFn`
+/// index order — the symbol space sampling and counter backends
+/// normalize into.
+pub fn kernel_symbols() -> Symbols {
+    Symbols::from_names(FUNCS.iter().map(|f| f.name))
 }
 
 /// Renders a score line for the sweep table.

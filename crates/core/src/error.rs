@@ -53,6 +53,18 @@ pub enum Error {
         /// Individual upload attempts that failed.
         failures: u64,
     },
+    /// A capture backend could not observe the run: nothing to arm, no
+    /// samples taken, software trace buffer overflowed, or the native
+    /// data failed to decode.  The configuration is at fault (wrong
+    /// backend for the build, buffer sized too small), so this is not
+    /// retryable.
+    BackendFailed {
+        /// Which backend failed
+        /// ([`CaptureBackend::name`](crate::CaptureBackend::name)).
+        backend: &'static str,
+        /// What went wrong, in the backend's own words.
+        reason: String,
+    },
     /// A supervised capture finished below the policy's minimum
     /// timeline coverage.
     CoverageTooLow {
@@ -72,9 +84,11 @@ impl Error {
     ///
     /// Configuration and build errors ([`Error::MissingScenario`],
     /// [`Error::EmptyScenario`], [`Error::Compile`], [`Error::Link`]),
-    /// API misuse ([`Error::PipelineClosed`]) and deterministic data
+    /// API misuse ([`Error::PipelineClosed`]), deterministic data
     /// corruption ([`Error::CorruptUpload`] — the fault schedule is
-    /// seeded, so a re-run reproduces it) are not retryable.
+    /// seeded, so a re-run reproduces it) and backend misconfiguration
+    /// ([`Error::BackendFailed`] — the same backend observes the same
+    /// deterministic run identically) are not retryable.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -114,6 +128,9 @@ impl std::fmt::Display for Error {
                 f,
                 "upload transport never recovered: {banks_lost} banks lost across {failures} failed attempts"
             ),
+            Error::BackendFailed { backend, reason } => {
+                write!(f, "{backend} backend failed: {reason}")
+            }
             Error::CoverageTooLow {
                 achieved_ppm,
                 required_ppm,

@@ -6,7 +6,7 @@
 //! `_ProfileBase` with the two-stage link, flip the board's switch, run
 //! the workload, carry the RAMs to the "UNIX host" (the analysis crate).
 //!
-//! Two capture modes:
+//! Three capture modes:
 //!
 //! * [`Experiment::try_run`] — the paper's one-shot capture: the RAM
 //!   fills once, the whole image is uploaded afterwards.
@@ -14,6 +14,11 @@
 //!   RAM runs as a double buffer and every full bank streams into an
 //!   analysis worker pool *while the workload is still running*, so a
 //!   capture is no longer bounded by the 16384-event RAM.
+//! * [`Experiment::try_capture`] — the backend-agnostic capture: any
+//!   [`CaptureBackend`] (the board, clock sampling, event counters,
+//!   ktrace-style software tracing) observes the same run through the
+//!   shared arm/drain/finish lifecycle and normalizes into the same
+//!   [`Reconstruction`].
 
 use hwprof_analysis::{Analyzer, Anomalies, Exporter, Reconstruction, StreamAnalyzer};
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
@@ -31,6 +36,7 @@ use hwprof_profiler::{
 use hwprof_tagfile::{TagFile, TagKind};
 use hwprof_telemetry::{Registry, Snapshot, SpanLog};
 
+use crate::backend::{BackendCost, BoardBackend, CaptureBackend, NativeCapture};
 use crate::error::Error;
 
 /// Text+data bytes of the uninstrumented kernel image (a 386BSD 0.1
@@ -142,6 +148,7 @@ pub struct Experiment {
     anomaly_limit_ppm: Option<u32>,
     telemetry: Option<Registry>,
     journal: Option<SpanLog>,
+    backend: Option<Box<dyn CaptureBackend>>,
 }
 
 impl Default for Experiment {
@@ -164,6 +171,7 @@ impl Experiment {
             anomaly_limit_ppm: None,
             telemetry: None,
             journal: None,
+            backend: None,
         }
     }
 
@@ -221,6 +229,24 @@ impl Experiment {
     #[must_use = "builder methods return the updated experiment"]
     pub fn unarmed(mut self) -> Self {
         self.armed = false;
+        self
+    }
+
+    /// The measurement technique [`Experiment::try_capture`] drives:
+    /// the board ([`BoardBackend`], the default), clock sampling,
+    /// event counters, or ktrace-style software tracing — any
+    /// [`CaptureBackend`].  Ignored by the other run methods, which
+    /// are board-only by construction.
+    #[must_use = "builder methods return the updated experiment"]
+    pub fn backend(self, b: impl CaptureBackend + 'static) -> Self {
+        self.backend_boxed(Box::new(b))
+    }
+
+    /// [`Experiment::backend`] for an already-boxed backend (e.g. from
+    /// a `Vec<Box<dyn CaptureBackend>>` sweep).
+    #[must_use = "builder methods return the updated experiment"]
+    pub fn backend_boxed(mut self, b: Box<dyn CaptureBackend>) -> Self {
+        self.backend = Some(b);
         self
     }
 
@@ -376,21 +402,41 @@ impl Experiment {
         })
     }
 
-    /// Builds, links, runs and uploads — the legacy panicking entry
-    /// point, kept only for old callers.
+    /// Backend-agnostic capture: builds and links as usual, then drives
+    /// the configured [`CaptureBackend`] (default: the board) through
+    /// its lifecycle — `plan` before the build, `arm` before the run,
+    /// `drain` after it, `finish` to normalize into a
+    /// [`Reconstruction`].  The same scenario runs unmodified under
+    /// every backend; only the observation technique changes.
     ///
-    /// This is a thin wrapper over [`Experiment::try_run`]: the run
-    /// itself returns `Result` internally, and the *only* place an
-    /// experiment error turns into a panic is right here.  New code
-    /// (and anything that can hit supervised/transport errors) should
-    /// call `try_run` and handle [`Error`].
+    /// # Errors
     ///
-    /// # Panics
-    ///
-    /// Panics on any [`Error`].
-    #[deprecated(note = "legacy panicking entry point; use try_run and handle hwprof::Error")]
-    pub fn run(self) -> Capture {
-        legacy_unwrap(self.try_run())
+    /// Everything [`Experiment::try_run`] reports, plus
+    /// [`Error::BackendFailed`] when the backend could not observe the
+    /// run (no samples taken, trace buffer overflowed, ...).
+    pub fn try_capture(mut self) -> Result<BackendCapture, Error> {
+        let mut backend = self
+            .backend
+            .take()
+            .unwrap_or_else(|| Box::new(BoardBackend));
+        // The backend owns the arm switch; prepare leaves the board off.
+        self.armed = false;
+        backend.plan(&mut self.select, &mut self.config);
+        let p = self.prepare()?;
+        p.sim.with_kernel(|k| backend.arm(&p.board, k))?;
+        let mut kernel = p.sim.run();
+        let native = backend.drain(&p.board, &mut kernel)?;
+        let profile = backend.finish(&native, &p.tagfile, &kernel)?;
+        Ok(BackendCapture {
+            backend: backend.name(),
+            cost: backend.cost_model(),
+            native,
+            profile,
+            tagfile: p.tagfile,
+            link: p.link,
+            kernel,
+            journal: p.journal,
+        })
     }
 
     /// Drain-while-armed capture: the board streams full half-RAM banks
@@ -454,20 +500,6 @@ impl Experiment {
             injected: injector.map(|inj| inj.counts()),
             journal: p.journal,
         })
-    }
-
-    /// Drain-while-armed capture; see [`Experiment::try_run_streaming`].
-    /// The legacy panicking entry point, a thin wrapper like
-    /// [`Experiment::run`]; errors become panics only here.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any [`Error`].
-    #[deprecated(
-        note = "legacy panicking entry point; use try_run_streaming and handle hwprof::Error"
-    )]
-    pub fn run_streaming(self, workers: usize) -> StreamCapture {
-        legacy_unwrap(self.try_run_streaming(workers))
     }
 
     /// Supervised capture: a [`CaptureSupervisor`] wraps the board and
@@ -571,17 +603,6 @@ impl Experiment {
     }
 }
 
-/// The single documented place experiment errors become panics: the
-/// deprecated legacy entry points ([`Experiment::run`],
-/// [`Experiment::run_streaming`]) funnel through here.
-#[track_caller]
-fn legacy_unwrap<T>(result: Result<T, Error>) -> T {
-    match result {
-        Ok(v) => v,
-        Err(e) => panic!("experiment failed: {e}"),
-    }
-}
-
 /// The trust gate shared by both capture modes: anomalies per million
 /// tags against the caller's limit.
 fn check_anomaly_limit(anomalies: &Anomalies, tags: u64, limit_ppm: u32) -> Result<(), Error> {
@@ -657,16 +678,6 @@ impl Capture {
         r
     }
 
-    /// Runs the analysis software in recovery mode: duplicates dropped,
-    /// corrupt timestamps clamped, mispaired frames resynchronized,
-    /// with every intervention classified in
-    /// [`Reconstruction::anomalies`].
-    #[deprecated(note = "use Capture::try_analyze(None), or \
-                Analyzer::for_tagfile(&capture.tagfile).recovering(true).records(&capture.records)")]
-    pub fn analyze_recovering(&self) -> Reconstruction {
-        self.recovered()
-    }
-
     /// Recovery-mode analysis with a trust gate: errors with
     /// [`Error::CorruptUpload`] if classified anomalies exceed
     /// `limit_ppm` per million tags (defaulting to the experiment's
@@ -678,17 +689,47 @@ impl Capture {
         Ok(r)
     }
 
-    /// Analyzes several captures together (the paper's Figure 3 header
-    /// shows 28060 tags — more than one RAM load; the operator swapped
-    /// battery-backed RAMs between runs).  All captures must come from
-    /// the same build (the first capture's tag file decodes every RAM).
-    #[deprecated(note = "use Analyzer::for_tagfile(&capture.tagfile)\
-                .record_sessions(captures.iter().map(|c| c.records.as_slice()))")]
-    pub fn analyze_concatenated(captures: &[&Capture]) -> Reconstruction {
-        assert!(!captures.is_empty(), "at least one capture");
-        Analyzer::for_tagfile(&captures[0].tagfile)
-            .record_sessions(captures.iter().map(|c| c.records.as_slice()))
-            .expect("strict analysis configures no anomaly budget")
+    /// Fraction of wall time the CPU was busy (from the scheduler, not
+    /// the capture).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.kernel.machine.now.max(1);
+        1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
+    }
+}
+
+/// What a backend-agnostic [`Experiment::try_capture`] run produced:
+/// the backend's native data, its normalized reconstruction, and the
+/// declared cost model it ran under.
+pub struct BackendCapture {
+    /// Which backend observed the run ([`CaptureBackend::name`]).
+    pub backend: &'static str,
+    /// The backend's declared cost model.
+    pub cost: BackendCost,
+    /// The backend's native output (banks, samples, or counters).
+    pub native: NativeCapture,
+    /// The normalized reconstruction — the same monoid every capture
+    /// mode produces, so reports and exports work unchanged.
+    pub profile: Reconstruction,
+    /// The name/tag file of this build.
+    pub tagfile: TagFile,
+    /// The resolved two-stage link.
+    pub link: LinkResult,
+    /// Final kernel state (ground truth, statistics).
+    pub kernel: Kernel,
+    /// The span journal the run recorded into, when
+    /// [`Experiment::journal`] was configured.
+    journal: Option<SpanLog>,
+}
+
+impl BackendCapture {
+    /// An [`Exporter`] over the normalized profile, carrying the run's
+    /// span journal when [`Experiment::journal`] was configured.
+    pub fn export(&self) -> Exporter<'_> {
+        let e = Exporter::new(&self.profile);
+        match &self.journal {
+            Some(log) => e.spans(log),
+            None => e,
+        }
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not

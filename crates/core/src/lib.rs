@@ -38,15 +38,24 @@
 //! assert!(stream.banks >= 1);
 //! ```
 
+pub mod backend;
+pub mod comparison;
 pub mod error;
 pub mod experiment;
 pub mod scenarios;
 
+pub use backend::{
+    BackendCost, BoardBackend, CaptureBackend, CountersBackend, KtraceBackend, NativeCapture,
+    SamplingBackend,
+};
+pub use comparison::{BackendComparison, BackendRow};
 pub use error::Error;
 pub use experiment::{
-    Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture, SupervisedCapture,
+    BackendCapture, Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture,
+    SupervisedCapture,
 };
 pub use hwprof_analysis::{validate_json, Analyzer, AnalyzerError, Anomalies, Exporter, JsonValue};
+pub use hwprof_baseline::{CounterModel, SampleProfile};
 pub use hwprof_profiler::{
     Coverage, FaultInjector, FaultSpec, FlakyTransport, HealthReport, InjectedFaults,
     MemoryTransport, RetryPolicy, SupervisorPolicy, TagMaskLevel, Transport,

@@ -93,6 +93,7 @@ impl<'a> Ctx<'a> {
             let c = self.k.machine.cost.trigger;
             self.k.machine.now += c;
             self.k.machine.eprom_read(tag);
+            self.k.swtrace_record(tag);
         }
     }
 
@@ -103,6 +104,7 @@ impl<'a> Ctx<'a> {
             let c = self.k.machine.cost.trigger;
             self.k.machine.now += c;
             self.k.machine.eprom_read(tag);
+            self.k.swtrace_record(tag);
         }
         let now = self.k.machine.now;
         let pid = self.k.sched.current;
@@ -116,6 +118,7 @@ impl<'a> Ctx<'a> {
             let c = self.k.machine.cost.trigger;
             self.k.machine.now += c;
             self.k.machine.eprom_read(tag);
+            self.k.swtrace_record(tag);
         }
     }
 

@@ -100,6 +100,46 @@ impl Default for Sampling {
     }
 }
 
+/// Software tracing state (the ktrace-style alternative to the board):
+/// the same entry/exit trigger points the hardware observes, but logged
+/// by kernel code into a kernel buffer.  Each logged event costs real
+/// CPU cycles — a buffer store, an index update and the cache traffic
+/// they drag in — which is the intrusiveness trade-off the paper's
+/// board avoids ("the overhead of the system is very low, only one
+/// extra memory read cycle per event").
+#[derive(Debug, Clone)]
+pub struct SwTrace {
+    /// Master switch.  When off, the hooks are a single branch and the
+    /// simulated machine is bit-identical to an untraced kernel.
+    pub enabled: bool,
+    /// CPU cycles burned per logged event (store + index + cache
+    /// effects) — roughly an order of magnitude above the board's
+    /// one-cycle EPROM read.
+    pub cost_per_event: Cycles,
+    /// Ring capacity; events beyond it are dropped (and counted), like
+    /// a real ktrace buffer under load.
+    pub capacity: usize,
+    /// Logged events: the hardware tag that would have been presented
+    /// to the board, with the absolute microsecond time *after* the
+    /// logging cost was charged (software tracing observes its own
+    /// dilated timeline).
+    pub events: Vec<(u16, u64)>,
+    /// Events dropped once the buffer filled.
+    pub dropped: u64,
+}
+
+impl Default for SwTrace {
+    fn default() -> Self {
+        SwTrace {
+            enabled: false,
+            cost_per_event: 40, // 1 us: ~20x the board's trigger read
+            capacity: 1 << 20,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+}
+
 /// The event-statistics counters every kernel keeps (the coarse
 /// measurement tool the paper contrasts the Profiler against).
 #[derive(Debug, Default, Clone)]
@@ -160,6 +200,8 @@ pub struct Kernel {
     pub live_procs: u32,
     /// Clock-sampling profiler state.
     pub sampling: Sampling,
+    /// Software tracing state (ktrace-style trigger logging).
+    pub swtrace: SwTrace,
     /// Function executing when the current interrupt arrived (what the
     /// sampling profiler's program-counter snapshot resolves to).
     pub intr_interrupted: Option<crate::funcs::KFn>,
@@ -187,7 +229,27 @@ impl Kernel {
             rng,
             live_procs: 0,
             sampling: Sampling::default(),
+            swtrace: SwTrace::default(),
             intr_interrupted: None,
+        }
+    }
+
+    /// Logs one trigger event into the software trace, charging its
+    /// per-event cost first so the logged timestamp (and everything
+    /// after it, ground truth included) sits on the dilated timeline —
+    /// the same ordering the hardware trigger uses in `Ctx::fn_enter`.
+    /// A no-op when tracing is off.
+    #[inline]
+    pub fn swtrace_record(&mut self, tag: u16) {
+        if !self.swtrace.enabled {
+            return;
+        }
+        self.machine.now += self.swtrace.cost_per_event;
+        if self.swtrace.events.len() < self.swtrace.capacity {
+            let t = self.machine.now_us();
+            self.swtrace.events.push((tag, t));
+        } else {
+            self.swtrace.dropped += 1;
         }
     }
 

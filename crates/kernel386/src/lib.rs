@@ -60,6 +60,6 @@ pub mod wire_fmt;
 
 pub use ctx::{kfn, Ctx};
 pub use funcs::{KFn, FUNCS, INLINES};
-pub use kernel::{Kernel, KernelConfig};
+pub use kernel::{KernStats, Kernel, KernelConfig, Sampling, SwTrace};
 pub use proc::{Pid, Proc, ProcState};
 pub use sim::{Sim, SimBuilder};

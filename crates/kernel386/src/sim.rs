@@ -138,6 +138,16 @@ impl Sim {
         pid
     }
 
+    /// Runs `f` against the kernel while the simulation is stopped
+    /// (before [`Sim::run`], or from the controlling thread between
+    /// spawns).  This is how a harness pokes run-time kernel state the
+    /// builder cannot reach — switching the clock sampler or the
+    /// software trace on — without racing the process threads.
+    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        let mut k = self.shared.kernel.lock();
+        f(&mut k)
+    }
+
     /// Processes alive right now; before [`Sim::run`] this is the number
     /// spawned, letting a harness reject an empty scenario without
     /// tripping the scheduler's panic.
