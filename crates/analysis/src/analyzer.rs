@@ -36,9 +36,10 @@ use hwprof_profiler::{RawRecord, SupervisedRun};
 use hwprof_tagfile::TagFile;
 use hwprof_telemetry::{Registry, SpanLog};
 
-use crate::events::{Event, SessionDecoder, Symbols, TagMap};
+use crate::columnar::{ColumnarDecoder, DenseTagTable};
+use crate::events::{Event, Symbols};
 use crate::export::Exporter;
-use crate::recon::{reconstruct_session, reconstruct_session_recovering, Reconstruction};
+use crate::recon::{Reconstruction, SessionRecon};
 use crate::stream::StreamAnalyzer;
 
 /// Why an [`Analyzer`] refused to produce a reconstruction.
@@ -193,25 +194,20 @@ impl Analyzer {
         }
     }
 
-    /// Reconstructs one session in the configured mode.
-    fn reconstruct(&self, events: &[Event]) -> Reconstruction {
-        if self.recovering {
-            reconstruct_session_recovering(&self.syms, events)
-        } else {
-            reconstruct_session(&self.syms, events)
-        }
-    }
-
     /// The base fold every flavour goes through: sessions reconstructed
-    /// in isolation, merged in order through the monoid.
+    /// in isolation, accumulated in order into one result.  A single
+    /// arena-backed [`SessionRecon`] serves every session, so the loop
+    /// allocates no per-session state (bit-identical to building and
+    /// merging per-session `Reconstruction`s — the monoid argument).
     fn fold<I>(&self, sessions: I) -> Reconstruction
     where
         I: IntoIterator,
         I::Item: AsRef<[Event]>,
     {
         let mut out = Reconstruction::empty(self.syms.clone());
+        let mut recon = SessionRecon::new(&self.syms, self.recovering);
         for s in sessions {
-            out.merge(self.reconstruct(s.as_ref()));
+            recon.session_into(s.as_ref(), &mut out);
         }
         out
     }
@@ -264,16 +260,22 @@ impl Analyzer {
         Ok(r)
     }
 
-    fn tagmap(&self) -> Result<TagMap, AnalyzerError> {
-        Ok(TagMap::from_tagfile(
+    fn dense_table(&self) -> Result<DenseTagTable, AnalyzerError> {
+        Ok(DenseTagTable::from_tagfile(
             self.tagfile.as_ref().ok_or(AnalyzerError::MissingTagFile)?,
         ))
     }
 
-    /// Decodes one raw bank in the configured mode (decode-level
-    /// anomalies folded into the events' reconstruction by the caller).
-    fn decode_bank(&self, map: &TagMap, records: &[RawRecord]) -> (Vec<Event>, crate::Anomalies) {
-        let mut decoder = SessionDecoder::new(map);
+    /// Decodes one raw bank in the configured mode through a shared
+    /// columnar decoder (decode-level anomalies folded into the events'
+    /// reconstruction by the caller).  The decoder's scratch columns
+    /// persist across banks; only its session state resets.
+    fn decode_bank(
+        &self,
+        decoder: &mut ColumnarDecoder<'_>,
+        records: &[RawRecord],
+    ) -> (Vec<Event>, crate::Anomalies) {
+        decoder.reset();
         let mut events = Vec::new();
         if self.recovering {
             decoder.extend_recovering(records, &mut events);
@@ -318,13 +320,21 @@ impl Analyzer {
         I: IntoIterator,
         I::Item: AsRef<[RawRecord]>,
     {
-        let map = self.tagmap()?;
+        let table = self.dense_table()?;
+        let mut decoder = ColumnarDecoder::new(&table);
+        let mut recon = SessionRecon::new(&self.syms, self.recovering);
         let mut out = Reconstruction::empty(self.syms.clone());
+        let mut events = Vec::new();
         for bank in banks {
-            let (events, decode_anoms) = self.decode_bank(&map, bank.as_ref());
-            let mut r = self.reconstruct(&events);
-            r.note(&decode_anoms);
-            out.merge(r);
+            decoder.reset();
+            events.clear();
+            if self.recovering {
+                decoder.extend_recovering(bank.as_ref(), &mut events);
+            } else {
+                decoder.extend(bank.as_ref(), &mut events);
+            }
+            recon.session_into(&events, &mut out);
+            out.note(&decoder.anomalies());
         }
         self.gate(out)
     }
@@ -337,13 +347,14 @@ impl Analyzer {
     ///
     /// [`Coverage`]: hwprof_profiler::Coverage
     pub fn run(&self, run: &SupervisedRun) -> Result<Reconstruction, AnalyzerError> {
-        let map = self.tagmap()?;
+        let table = self.dense_table()?;
+        let mut decoder = ColumnarDecoder::new(&table);
         let mut decode_anoms = crate::Anomalies::default();
         let sessions: Vec<Vec<Event>> = run
             .sessions
             .iter()
             .map(|s| {
-                let (events, anoms) = self.decode_bank(&map, &s.records);
+                let (events, anoms) = self.decode_bank(&mut decoder, &s.records);
                 decode_anoms.merge(&anoms);
                 events
             })

@@ -1,0 +1,364 @@
+//! Batch columnar (SoA) record decode — the hot path.
+//!
+//! The scalar [`SessionDecoder`](crate::events::SessionDecoder) walks
+//! records one at a time: a `HashMap` probe per tag, an `Option` branch
+//! per timestamp, a bounds-growing push per event.  At fleet scale the
+//! pipeline, not the probe, becomes the bottleneck (Metz &
+//! Lencevicius), so this module restructures decode into column passes
+//! over struct-of-arrays scratch:
+//!
+//! 1. **times** — the 24-bit counter column is masked in one
+//!    elementwise pass;
+//! 2. **deltas** — consecutive differences modulo 2^24, a pure
+//!    shifted-slice subtraction the compiler autovectorizes;
+//! 3. **absolute times** — one branch-free prefix sum over the delta
+//!    column;
+//! 4. **kinds** — tag classification through a dense 65536-entry table
+//!    (one indexed load per event) instead of a hash probe.
+//!
+//! The recovering path branches **per batch, not per event**: each
+//! batch is scanned with branch-free flag accumulation for anything the
+//! scalar recovery machine would act on (an adjacent duplicate, a
+//! half-window time jump, a held corrupt reference carried in).  Clean
+//! batches — the overwhelmingly common case — take the strict columnar
+//! path unchanged; a flagged batch falls back to the exact scalar state
+//! machine for just those records.  Output is bit-identical to the
+//! scalar decoder in both modes (property-pinned by `decode_props`).
+
+use crate::anomaly::Anomalies;
+use crate::events::{EvKind, Event, SymId, TimeUnwrapper, TIME_JUMP_THRESHOLD};
+use hwprof_profiler::{RawRecord, TIME_MASK};
+use hwprof_tagfile::{TagFile, TagKind};
+
+/// Records per recovering-mode batch: large enough that the flag scan
+/// amortizes, small enough that one corrupt record only drags one batch
+/// onto the scalar path.
+const BATCH: usize = 1024;
+
+/// Tag classifications packed into one `u32`: class in the top two
+/// bits, symbol id in the low 30 (tag files are bounded by the 16-bit
+/// tag space, so 30 bits never truncate).
+const CLASS_SHIFT: u32 = 30;
+const CLASS_UNKNOWN: u32 = 0;
+const CLASS_ENTRY: u32 = 1;
+const CLASS_EXIT: u32 = 2;
+const CLASS_INLINE: u32 = 3;
+const PAYLOAD_MASK: u32 = (1 << CLASS_SHIFT) - 1;
+
+/// The dense tag → meaning table: one slot per possible 16-bit tag, so
+/// classification is a single indexed load with no hashing and no
+/// branch.  256 KiB, built once per tag file and shared by every
+/// decoder (the streaming workers hold it behind an `Arc`).
+#[derive(Clone)]
+pub struct DenseTagTable {
+    table: Box<[u32]>,
+}
+
+impl std::fmt::Debug for DenseTagTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseTagTable")
+            .field("slots", &self.table.len())
+            .finish()
+    }
+}
+
+impl DenseTagTable {
+    /// Builds the table from a tag file.  Entry order matches
+    /// [`TagMap`](crate::events::TagMap) exactly (last assignment of a
+    /// tag wins), so the two classifiers always agree.
+    pub fn from_tagfile(tf: &TagFile) -> Self {
+        let mut table = vec![CLASS_UNKNOWN << CLASS_SHIFT; 1 << 16].into_boxed_slice();
+        for (i, e) in tf.entries().iter().enumerate() {
+            let sym = i as SymId;
+            debug_assert!(sym <= PAYLOAD_MASK, "symbol id fits 30 bits");
+            match e.kind {
+                TagKind::Inline => {
+                    table[e.tag as usize] = (CLASS_INLINE << CLASS_SHIFT) | sym;
+                }
+                TagKind::Function | TagKind::ContextSwitch => {
+                    table[e.tag as usize] = (CLASS_ENTRY << CLASS_SHIFT) | sym;
+                    table[(e.tag + 1) as usize] = (CLASS_EXIT << CLASS_SHIFT) | sym;
+                }
+            }
+        }
+        DenseTagTable { table }
+    }
+
+    /// The meaning of one hardware tag (one load, no hash, no branch on
+    /// the lookup itself).
+    #[inline]
+    pub fn classify(&self, tag: u16) -> EvKind {
+        let packed = self.table[tag as usize];
+        let sym = packed & PAYLOAD_MASK;
+        match packed >> CLASS_SHIFT {
+            CLASS_ENTRY => EvKind::Entry(sym),
+            CLASS_EXIT => EvKind::Exit(sym),
+            CLASS_INLINE => EvKind::Inline(sym),
+            _ => EvKind::Unknown(tag),
+        }
+    }
+}
+
+/// The columnar session decoder: same contract as the scalar
+/// [`SessionDecoder`](crate::events::SessionDecoder) — feed a session's
+/// records in arbitrary chunks, get bit-identical events — but decoded
+/// in batch column passes.  [`reset`](ColumnarDecoder::reset) starts
+/// the next session while keeping the scratch columns' capacity, so a
+/// long-lived decoder (one per streaming worker) stops touching the
+/// allocator entirely once warm.
+#[derive(Debug, Clone)]
+pub struct ColumnarDecoder<'a> {
+    table: &'a DenseTagTable,
+    unwrapper: TimeUnwrapper,
+    /// Last raw record seen (recovering-mode duplicate reference).
+    last: Option<(u16, u32)>,
+    anoms: Anomalies,
+    /// SoA scratch, reused across chunks and sessions.
+    times32: Vec<u32>,
+    deltas: Vec<u32>,
+}
+
+impl<'a> ColumnarDecoder<'a> {
+    /// Starts a fresh session against a prebuilt dense table.
+    pub fn new(table: &'a DenseTagTable) -> Self {
+        ColumnarDecoder {
+            table,
+            unwrapper: TimeUnwrapper::new(),
+            last: None,
+            anoms: Anomalies::default(),
+            times32: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Starts the next session: clears every per-session state
+    /// (time origin, duplicate reference, anomaly counters) while
+    /// keeping the scratch columns' capacity.
+    pub fn reset(&mut self) {
+        self.unwrapper = TimeUnwrapper::new();
+        self.last = None;
+        self.anoms = Anomalies::default();
+    }
+
+    /// Anomalies flagged by recovering-mode decode since the last
+    /// [`reset`](ColumnarDecoder::reset).
+    pub fn anomalies(&self) -> Anomalies {
+        self.anoms
+    }
+
+    /// Fills the delta column for `records`: `deltas[i]` is the 24-bit
+    /// wrapped difference between record `i` and its predecessor (the
+    /// decoder's carried reference for the first record).  Both loops
+    /// are elementwise over parallel arrays — no branches, no carried
+    /// scalar state — which is what lets the compiler vectorize them.
+    fn fill_deltas(&mut self, records: &[RawRecord]) {
+        let n = records.len();
+        self.times32.clear();
+        self.times32
+            .extend(records.iter().map(|r| r.time & TIME_MASK));
+        self.deltas.clear();
+        self.deltas.resize(n, 0);
+        let prev0 = self.unwrapper.prev_raw().unwrap_or(self.times32[0]);
+        self.deltas[0] = self.times32[0].wrapping_sub(prev0) & TIME_MASK;
+        for i in 1..n {
+            self.deltas[i] = self.times32[i].wrapping_sub(self.times32[i - 1]) & TIME_MASK;
+        }
+    }
+
+    /// Strict columnar decode of the next chunk, appending to `out`.
+    /// Bit-identical to feeding each record through the scalar
+    /// [`SessionDecoder::push`](crate::events::SessionDecoder::push).
+    pub fn extend(&mut self, records: &[RawRecord], out: &mut Vec<Event>) {
+        if records.is_empty() {
+            return;
+        }
+        self.fill_deltas(records);
+        self.emit_clean(records, out);
+    }
+
+    /// Emits one clean chunk: prefix-sums the delta column into
+    /// absolute times and zips with dense-table kinds.  The caller has
+    /// already filled [`fill_deltas`](Self::fill_deltas) for `records`.
+    fn emit_clean(&mut self, records: &[RawRecord], out: &mut Vec<Event>) {
+        let mut abs = self.unwrapper.abs();
+        out.reserve(records.len());
+        for (r, &d) in records.iter().zip(&self.deltas) {
+            abs += u64::from(d);
+            out.push(Event {
+                t: abs,
+                kind: self.table.classify(r.tag),
+            });
+        }
+        let last = records[records.len() - 1];
+        self.unwrapper.advance_batch(abs, last.time & TIME_MASK);
+        self.last = Some((last.tag, last.time));
+    }
+
+    /// Recovering columnar decode of the next chunk, appending
+    /// surviving events to `out`.  Bit-identical to the scalar
+    /// [`SessionDecoder::push_recovering`] loop, but the branch is
+    /// taken per *batch*: a branch-free flag scan decides whether the
+    /// scalar recovery machine is needed at all, and clean batches ride
+    /// the strict columnar path.
+    ///
+    /// [`SessionDecoder::push_recovering`]:
+    ///     crate::events::SessionDecoder::push_recovering
+    pub fn extend_recovering(&mut self, records: &[RawRecord], out: &mut Vec<Event>) {
+        for batch in records.chunks(BATCH) {
+            // A held reference means the previous batch ended on a
+            // suspected-corrupt timestamp: the very next record takes
+            // the two-jump adoption branch, so the whole batch goes to
+            // the exact scalar machine.
+            if self.unwrapper.is_held() || self.scan_flags(batch) {
+                self.fallback_scalar(batch, out);
+            } else {
+                self.emit_clean(batch, out);
+            }
+        }
+    }
+
+    /// Branch-free scan of one batch for anything the recovery machine
+    /// would act on: an adjacent duplicate record (same tag and raw
+    /// time as its predecessor, including the carried one) or a time
+    /// delta at or past [`TIME_JUMP_THRESHOLD`].  Flags accumulate
+    /// with bitwise OR over the columns; the single branch is on the
+    /// final accumulated word.
+    ///
+    /// Exactness: duplicates compare adjacent raw records, which
+    /// mirrors the scalar `last` reference (dropped duplicates leave
+    /// `last` unchanged at the same value).  For jumps, as long as the
+    /// prefix of the batch is clean the pairwise delta *is* the
+    /// unwrapper's delta-from-reference, so the first anomaly in scalar
+    /// order always raises a flag here; conversely a clean scalar pass
+    /// keeps the reference at the predecessor, making the columns
+    /// match.  Fills the delta column as a side effect, so a clean
+    /// verdict flows straight into [`emit_clean`](Self::emit_clean).
+    fn scan_flags(&mut self, batch: &[RawRecord]) -> bool {
+        self.fill_deltas(batch);
+        let mut jump = 0u32;
+        for &d in &self.deltas {
+            jump |= u32::from(d >= TIME_JUMP_THRESHOLD);
+        }
+        let mut dup = 0u32;
+        if let Some((tag, time)) = self.last {
+            dup |= u32::from(batch[0].tag == tag && batch[0].time == time);
+        }
+        for w in batch.windows(2) {
+            dup |= u32::from(w[1].tag == w[0].tag && w[1].time == w[0].time);
+        }
+        (jump | dup) != 0
+    }
+
+    /// The exact scalar recovery machine for one flagged batch: the
+    /// same duplicate-drop and [`TimeUnwrapper::push_checked`] clamp
+    /// the scalar decoder applies, against the dense table.
+    fn fallback_scalar(&mut self, batch: &[RawRecord], out: &mut Vec<Event>) {
+        out.reserve(batch.len());
+        for r in batch {
+            if self.last == Some((r.tag, r.time)) {
+                self.anoms.duplicates += 1;
+                continue;
+            }
+            self.last = Some((r.tag, r.time));
+            let (t, jumped) = self.unwrapper.push_checked(r.time);
+            if jumped {
+                self.anoms.time_jumps += 1;
+            }
+            out.push(Event {
+                t,
+                kind: self.table.classify(r.tag),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{SessionDecoder, TagMap};
+
+    fn tagfile() -> TagFile {
+        hwprof_tagfile::parse("a/100\nb/102\nswtch/200!\nMARK/300=\n").expect("static")
+    }
+
+    fn rec(tag: u16, time: u32) -> RawRecord {
+        RawRecord { tag, time }
+    }
+
+    #[test]
+    fn dense_table_agrees_with_tagmap_everywhere() {
+        let tf = tagfile();
+        let dense = DenseTagTable::from_tagfile(&tf);
+        let map = TagMap::from_tagfile(&tf);
+        for tag in 0..=u16::MAX {
+            assert_eq!(dense.classify(tag), map.classify(tag), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn columnar_strict_matches_scalar_across_chunks() {
+        let tf = tagfile();
+        let recs: Vec<RawRecord> = vec![
+            rec(100, 0xFF_FFF0),
+            rec(300, 0xFF_FFFF),
+            rec(101, 0x00_0005), // wrap
+            rec(200, 0x00_0010),
+            rec(201, 0x00_0030),
+            rec(999, 0x00_0031),
+        ];
+        let map = TagMap::from_tagfile(&tf);
+        let mut scalar = SessionDecoder::new(&map);
+        let mut want = Vec::new();
+        scalar.extend(&recs, &mut want);
+        let dense = DenseTagTable::from_tagfile(&tf);
+        for split in 0..=recs.len() {
+            let mut d = ColumnarDecoder::new(&dense);
+            let mut got = Vec::new();
+            d.extend(&recs[..split], &mut got);
+            d.extend(&recs[split..], &mut got);
+            assert_eq!(got, want, "split {split}");
+        }
+    }
+
+    #[test]
+    fn columnar_recovering_matches_scalar_on_faulty_stream() {
+        let tf = tagfile();
+        let recs: Vec<RawRecord> = vec![
+            rec(100, 10),
+            rec(100, 10), // stuck counter
+            rec(102, 20),
+            rec(103, 20 | (1 << 23)), // flipped high time bit
+            rec(101, 40),
+            rec(999, 45),
+        ];
+        let map = TagMap::from_tagfile(&tf);
+        let mut scalar = SessionDecoder::new(&map);
+        let mut want = Vec::new();
+        scalar.extend_recovering(&recs, &mut want);
+        let dense = DenseTagTable::from_tagfile(&tf);
+        let mut d = ColumnarDecoder::new(&dense);
+        let mut got = Vec::new();
+        d.extend_recovering(&recs, &mut got);
+        assert_eq!(got, want);
+        assert_eq!(d.anomalies(), scalar.anomalies());
+        assert_eq!(d.anomalies().duplicates, 1);
+        assert_eq!(d.anomalies().time_jumps, 1);
+    }
+
+    #[test]
+    fn reset_reuses_scratch_for_the_next_session() {
+        let tf = tagfile();
+        let dense = DenseTagTable::from_tagfile(&tf);
+        let mut d = ColumnarDecoder::new(&dense);
+        let mut out = Vec::new();
+        d.extend(&[rec(100, 500), rec(101, 600)], &mut out);
+        assert_eq!(out[1].t, 100);
+        d.reset();
+        out.clear();
+        // A fresh session: the time origin restarts at zero.
+        d.extend(&[rec(100, 900), rec(101, 950)], &mut out);
+        assert_eq!(out[0].t, 0);
+        assert_eq!(out[1].t, 50);
+        assert!(d.anomalies().is_clean());
+    }
+}

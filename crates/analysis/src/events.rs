@@ -161,6 +161,35 @@ impl TimeUnwrapper {
             (self.abs, false)
         }
     }
+
+    /// The carried absolute time (what the next accepted delta adds
+    /// onto).  Columnar decode prefix-sums its delta column from here.
+    pub(crate) fn abs(&self) -> u64 {
+        self.abs
+    }
+
+    /// The carried raw 24-bit reference, if any value has been fed.
+    pub(crate) fn prev_raw(&self) -> Option<u32> {
+        self.prev
+    }
+
+    /// True while the unwrapper is holding a suspected-corrupt
+    /// reference (one flagged jump, awaiting the verdict of the next
+    /// value).  Columnar recovery routes such batches to the scalar
+    /// machine.
+    pub(crate) fn is_held(&self) -> bool {
+        self.held
+    }
+
+    /// Advances past a whole batch the caller has already verified
+    /// clean (every delta below [`TIME_JUMP_THRESHOLD`], prefix-summed
+    /// to `abs`): equivalent to pushing each value, in O(1).
+    pub(crate) fn advance_batch(&mut self, abs: u64, last_raw: u32) {
+        debug_assert!(abs >= self.abs);
+        self.abs = abs;
+        self.prev = Some(last_raw & TIME_MASK);
+        self.held = false;
+    }
 }
 
 /// Unwraps the 24-bit hardware timestamps into absolute microseconds.
@@ -202,10 +231,16 @@ impl TagMap {
     }
 }
 
-/// Incremental decoder for one capture session: classifies tags and
-/// unwraps times record by record, so a session can be decoded in
-/// arbitrary chunks (the streaming upload path) with output identical
-/// to batch [`decode`].
+/// Incremental *scalar* decoder for one capture session: classifies
+/// tags and unwraps times record by record, so a session can be
+/// decoded in arbitrary chunks (the streaming upload path) with output
+/// identical to batch [`decode`].
+///
+/// The hot paths ride the columnar
+/// [`ColumnarDecoder`](crate::columnar::ColumnarDecoder) instead; this
+/// record-at-a-time decoder is kept as the reference implementation —
+/// the oracle the `decode_props` property suite pins the columnar
+/// decoder's bit-identity against.
 #[derive(Debug, Clone)]
 pub struct SessionDecoder<'a> {
     map: &'a TagMap,
@@ -277,10 +312,15 @@ impl<'a> SessionDecoder<'a> {
 /// Returns the symbol table and the event stream; unknown tags are kept
 /// (they count toward the header's tag total and are diagnosable) but
 /// take no part in reconstruction.
+///
+/// Rides the columnar batch decoder
+/// ([`crate::columnar::ColumnarDecoder`]); [`decode_scalar`] is the
+/// record-at-a-time reference path, bit-identical by the `decode_props`
+/// property suite.
 pub fn decode(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>) {
     let syms = Symbols::from_tagfile(tf);
-    let map = TagMap::from_tagfile(tf);
-    let mut decoder = SessionDecoder::new(&map);
+    let table = crate::columnar::DenseTagTable::from_tagfile(tf);
+    let mut decoder = crate::columnar::ColumnarDecoder::new(&table);
     let mut events = Vec::new();
     decoder.extend(records, &mut events);
     (syms, events)
@@ -289,7 +329,37 @@ pub fn decode(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>) {
 /// Decodes a capture session in recovery mode: adjacent duplicate
 /// records are dropped and timestamp corruption clamped, with every
 /// intervention counted in the returned [`Anomalies`].
+///
+/// Rides the columnar batch decoder (per-batch anomaly scan, scalar
+/// recovery machine only on flagged batches);
+/// [`decode_recovering_scalar`] is the reference path.
 pub fn decode_recovering(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>, Anomalies) {
+    let syms = Symbols::from_tagfile(tf);
+    let table = crate::columnar::DenseTagTable::from_tagfile(tf);
+    let mut decoder = crate::columnar::ColumnarDecoder::new(&table);
+    let mut events = Vec::new();
+    decoder.extend_recovering(records, &mut events);
+    let anoms = decoder.anomalies();
+    (syms, events, anoms)
+}
+
+/// Scalar reference decode: one [`SessionDecoder`] pass, record at a
+/// time.  The oracle [`decode`] is property-pinned against.
+pub fn decode_scalar(records: &[RawRecord], tf: &TagFile) -> (Symbols, Vec<Event>) {
+    let syms = Symbols::from_tagfile(tf);
+    let map = TagMap::from_tagfile(tf);
+    let mut decoder = SessionDecoder::new(&map);
+    let mut events = Vec::new();
+    decoder.extend(records, &mut events);
+    (syms, events)
+}
+
+/// Scalar reference decode in recovery mode.  The oracle
+/// [`decode_recovering`] is property-pinned against.
+pub fn decode_recovering_scalar(
+    records: &[RawRecord],
+    tf: &TagFile,
+) -> (Symbols, Vec<Event>, Anomalies) {
     let syms = Symbols::from_tagfile(tf);
     let map = TagMap::from_tagfile(tf);
     let mut decoder = SessionDecoder::new(&map);

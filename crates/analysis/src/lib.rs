@@ -20,6 +20,7 @@
 
 pub mod analyzer;
 pub mod anomaly;
+pub mod columnar;
 pub mod events;
 pub mod export;
 pub mod graph;
@@ -36,12 +37,15 @@ pub mod whatif;
 
 pub use analyzer::{Analyzer, AnalyzerError};
 pub use anomaly::Anomalies;
+pub use columnar::{ColumnarDecoder, DenseTagTable};
 pub use events::{
-    decode, decode_recovering, unwrap_times, EvKind, Event, SessionDecoder, SymId, Symbols, TagMap,
-    TimeUnwrapper, TIME_JUMP_THRESHOLD,
+    decode, decode_recovering, decode_recovering_scalar, decode_scalar, unwrap_times, EvKind,
+    Event, SessionDecoder, SymId, Symbols, TagMap, TimeUnwrapper, TIME_JUMP_THRESHOLD,
 };
 pub use export::{validate_json, Exporter, JsonValue};
-pub use recon::{reconstruct_session, reconstruct_session_recovering, FnAgg, Reconstruction};
+pub use recon::{
+    reconstruct_session, reconstruct_session_recovering, FnAgg, Reconstruction, SessionRecon,
+};
 pub use report::summary_report;
 pub use stitch::{
     scale_factor, scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,

@@ -277,20 +277,36 @@ impl Reconstruction {
     }
 }
 
-struct Recon {
-    syms: Symbols,
-    stats: Vec<FnAgg>,
-    trace: Vec<TraceItem>,
+/// The reusable session reconstructor — the arena of the hot path.
+///
+/// Reconstruction used to build a throwaway machine per session: two
+/// symbol-table clones, two stats vectors, a fresh edges map and trace
+/// vector, plus a newly grown frame stack for every process birth —
+/// all dropped at session end and re-grown for the next bank.  At
+/// fleet scale that allocator churn dominates.  A `SessionRecon` is
+/// created once and fed many sessions:
+///
+/// * results accumulate **directly into a shared [`Reconstruction`]**
+///   ([`session_into`](SessionRecon::session_into)) — bit-identical to
+///   merging per-session results, since every field is a sum, min, max
+///   or concatenation (the monoid argument), with zero intermediate
+///   allocation;
+/// * frame stacks come from an internal **free pool**: a stack retired
+///   at a context switch or session end keeps its capacity and is
+///   handed to the next birth, so steady-state reconstruction performs
+///   no frame allocation at all.
+pub struct SessionRecon<'a> {
+    syms: &'a Symbols,
+    recover: bool,
     active: PStack,
     suspended: Vec<PStack>,
+    /// Retired frame stacks, capacity kept for the next birth/session.
+    free: Vec<Vec<Frame>>,
     /// Next lane id to hand a freshly born thread of control.
     next_lane: u32,
     in_switch: bool,
     switch_start: u64,
     intr_in_switch: u64,
-    recover: bool,
-    forced_closes: u64,
-    out: Reconstruction,
 }
 
 /// Outcome of the forward scan after a `swtch` exit.
@@ -329,39 +345,21 @@ fn identify_resume(events: &[Event], syms: &Symbols) -> ResumeId {
     ResumeId::End
 }
 
-impl Recon {
-    fn new(syms: Symbols, recover: bool) -> Self {
-        let n = syms.len();
-        Recon {
-            out: Reconstruction {
-                syms: syms.clone(),
-                stats: vec![FnAgg::default(); n],
-                total_elapsed: 0,
-                idle: 0,
-                tags: 0,
-                context_switches: 0,
-                swtch_calls: 0,
-                unmatched_exits: 0,
-                unknown_tags: 0,
-                open_at_end: 0,
-                births: 0,
-                trace: Vec::new(),
-                edges: std::collections::HashMap::new(),
-                sessions: 0,
-                anomalies: Anomalies::default(),
-                coverage: Coverage::empty(),
-            },
-            stats: vec![FnAgg::default(); n],
-            trace: Vec::new(),
+impl<'a> SessionRecon<'a> {
+    /// A fresh reconstructor over `syms`; `recover` selects the
+    /// resynchronizing mode (see
+    /// [`reconstruct_session_recovering`]).
+    pub fn new(syms: &'a Symbols, recover: bool) -> Self {
+        SessionRecon {
             syms,
+            recover,
             active: PStack::default(),
             suspended: Vec::new(),
+            free: Vec::new(),
             next_lane: 1,
             in_switch: false,
             switch_start: 0,
             intr_in_switch: 0,
-            recover,
-            forced_closes: 0,
         }
     }
 
@@ -370,15 +368,15 @@ impl Recon {
     /// item stays unclosed and the parent's child-time accumulator is
     /// untouched (the orphaned interval will be net time of whichever
     /// ancestor does close cleanly).
-    fn force_close(&mut self) {
+    fn force_close(&mut self, out: &mut Reconstruction) {
         self.active.frames.pop().expect("caller checked");
-        self.forced_closes += 1;
+        out.anomalies.unmatched_entries += 1;
     }
 
-    fn push(&mut self, sym: SymId, t: u64, is_cswitch: bool) {
+    fn push(&mut self, out: &mut Reconstruction, sym: SymId, t: u64, is_cswitch: bool) {
         let depth = self.active.frames.len();
-        let item = self.trace.len();
-        self.trace.push(TraceItem {
+        let item = out.trace.len();
+        out.trace.push(TraceItem {
             t,
             depth,
             lane: self.active.lane,
@@ -404,7 +402,7 @@ impl Recon {
 
     /// Pops the active top frame at time `t`, accounting and patching
     /// its trace item.
-    fn pop(&mut self, t: u64) -> Frame {
+    fn pop(&mut self, out: &mut Reconstruction, t: u64) -> Frame {
         let f = self.active.frames.pop().expect("caller checked");
         let elapsed = t.saturating_sub(f.entered);
         let net = elapsed.saturating_sub(f.child);
@@ -413,9 +411,9 @@ impl Recon {
             parent.children += 1;
         }
         if f.is_cswitch {
-            self.out.swtch_calls += 1;
+            out.swtch_calls += 1;
         } else {
-            let a = &mut self.stats[f.sym as usize];
+            let a = &mut out.stats[f.sym as usize];
             a.calls += 1;
             a.elapsed += elapsed;
             a.net += net;
@@ -438,7 +436,7 @@ impl Recon {
             spans_switch,
             closed,
             ..
-        } = &mut self.trace[f.item].kind
+        } = &mut out.trace[f.item].kind
         {
             *n = net;
             *e = elapsed;
@@ -448,13 +446,13 @@ impl Recon {
         }
         // Call-graph edge.
         if let Some(parent) = self.active.frames.last() {
-            *self.out.edges.entry((parent.sym, f.sym)).or_insert(0) += 1;
+            *out.edges.entry((parent.sym, f.sym)).or_insert(0) += 1;
         }
         // Explicit return lines for frames the renderer may want to
         // close visually: switch spanners (named, with times) and
         // non-leaf frames (bare).
         if !f.is_cswitch && (f.spans_switch || f.children > 0) {
-            self.trace.push(TraceItem {
+            out.trace.push(TraceItem {
                 t,
                 depth: self.active.frames.len(),
                 lane: self.active.lane,
@@ -468,14 +466,14 @@ impl Recon {
         f
     }
 
-    fn handle_cswitch_exit(&mut self, t: u64, rest: &[Event]) {
+    fn handle_cswitch_exit(&mut self, out: &mut Reconstruction, t: u64, rest: &[Event]) {
         // Close the idle window.
         if self.in_switch {
             let window = t.saturating_sub(self.switch_start);
-            self.out.idle += window.saturating_sub(self.intr_in_switch);
+            out.idle += window.saturating_sub(self.intr_in_switch);
             self.in_switch = false;
         }
-        let wanted = identify_resume(rest, &self.syms);
+        let wanted = identify_resume(rest, self.syms);
         let top_is_swtch = |st: &PStack| st.frames.last().is_some_and(|f| f.is_cswitch);
         let matches_exit = |st: &PStack, x: SymId| -> bool {
             top_is_swtch(st) && st.frames.len().checked_sub(2).map(|i| st.frames[i].sym) == Some(x)
@@ -516,7 +514,7 @@ impl Recon {
         let depth_for_item = |frames: &PStack| frames.frames.len().saturating_sub(1);
         match choice {
             Choice::Active => {
-                self.trace.push(TraceItem {
+                out.trace.push(TraceItem {
                     t,
                     depth: depth_for_item(&self.active),
                     lane: self.active.lane,
@@ -526,25 +524,25 @@ impl Recon {
                         elapsed: 0,
                     },
                 });
-                self.pop(t);
+                self.pop(out, t);
             }
             Choice::Suspended(i) => {
                 let resumed = self.suspended.remove(i);
                 let old = std::mem::replace(&mut self.active, resumed);
                 self.suspended.push(old);
-                self.out.context_switches += 1;
+                out.context_switches += 1;
                 // Everything still open on the resumed stack spans a
                 // switch.
                 for f in &mut self.active.frames {
                     f.spans_switch = true;
                 }
-                self.trace.push(TraceItem {
+                out.trace.push(TraceItem {
                     t,
                     depth: 0,
                     lane: self.active.lane,
                     kind: ItemKind::SwitchIn { birth: false },
                 });
-                self.trace.push(TraceItem {
+                out.trace.push(TraceItem {
                     t,
                     depth: depth_for_item(&self.active),
                     lane: self.active.lane,
@@ -554,18 +552,27 @@ impl Recon {
                         elapsed: 0,
                     },
                 });
-                self.pop(t);
+                self.pop(out, t);
             }
             Choice::Birth => {
-                let old = std::mem::take(&mut self.active);
-                if !old.frames.is_empty() {
+                // The fresh stack comes from the arena's free pool; the
+                // outgoing one parks on `suspended` with its capacity
+                // (an empty one goes straight back to the pool).
+                let fresh = PStack {
+                    frames: self.free.pop().unwrap_or_default(),
+                    lane: 0,
+                };
+                let old = std::mem::replace(&mut self.active, fresh);
+                if old.frames.is_empty() {
+                    self.free.push(old.frames);
+                } else {
                     self.suspended.push(old);
                 }
                 self.active.lane = self.next_lane;
                 self.next_lane += 1;
-                self.out.context_switches += 1;
-                self.out.births += 1;
-                self.trace.push(TraceItem {
+                out.context_switches += 1;
+                out.births += 1;
+                out.trace.push(TraceItem {
                     t,
                     depth: 0,
                     lane: self.active.lane,
@@ -575,17 +582,26 @@ impl Recon {
         }
     }
 
-    fn session(&mut self, events: &[Event]) {
-        self.out.sessions += 1;
-        self.out.tags += events.len();
+    /// Reconstructs one capture session, accumulating the result
+    /// directly into `out` — exactly what
+    /// `out.merge(reconstruct_session(syms, events))` would produce,
+    /// without building the intermediate `Reconstruction` (every field
+    /// is a sum, min, max or concatenation, so direct accumulation and
+    /// merge-of-parts are the same fold).  Reconstruction state never
+    /// crosses a session boundary; the frame pool does, which is the
+    /// point.
+    pub fn session_into(&mut self, events: &[Event], out: &mut Reconstruction) {
+        debug_assert_eq!(self.syms.len(), out.syms.len(), "same tag file");
+        out.sessions += 1;
+        out.tags += events.len();
         if let (Some(first), Some(last)) = (events.first(), events.last()) {
-            self.out.total_elapsed += last.t - first.t;
+            out.total_elapsed += last.t - first.t;
         }
         for (i, ev) in events.iter().enumerate() {
             match ev.kind {
                 EvKind::Entry(sym) => {
                     let cs = self.syms.is_cswitch(sym);
-                    self.push(sym, ev.t, cs);
+                    self.push(out, sym, ev.t, cs);
                     if cs {
                         self.in_switch = true;
                         self.switch_start = ev.t;
@@ -594,14 +610,14 @@ impl Recon {
                 }
                 EvKind::Exit(sym) => {
                     if self.syms.is_cswitch(sym) {
-                        self.handle_cswitch_exit(ev.t, &events[i + 1..]);
+                        self.handle_cswitch_exit(out, ev.t, &events[i + 1..]);
                     } else if self
                         .active
                         .frames
                         .last()
                         .is_some_and(|f| f.sym == sym && !f.is_cswitch)
                     {
-                        self.pop(ev.t);
+                        self.pop(out, ev.t);
                     } else if self.recover {
                         // Resynchronize: a dropped entry-or-exit leaves
                         // the matching frame deeper on the stack (or
@@ -621,51 +637,54 @@ impl Recon {
                         }
                         if let Some(fi) = found {
                             while self.active.frames.len() > fi + 1 {
-                                self.force_close();
+                                self.force_close(out);
                             }
-                            self.pop(ev.t);
+                            self.pop(out, ev.t);
                         } else {
-                            self.out.unmatched_exits += 1;
+                            out.unmatched_exits += 1;
+                            out.anomalies.orphan_exits += 1;
                         }
                     } else {
-                        self.out.unmatched_exits += 1;
+                        out.unmatched_exits += 1;
+                        out.anomalies.orphan_exits += 1;
                     }
                 }
                 EvKind::Inline(sym) => {
-                    self.stats[sym as usize].inline_hits += 1;
-                    self.trace.push(TraceItem {
+                    out.stats[sym as usize].inline_hits += 1;
+                    out.trace.push(TraceItem {
                         t: ev.t,
                         depth: self.active.frames.len(),
                         lane: self.active.lane,
                         kind: ItemKind::Inline { sym },
                     });
                 }
-                EvKind::Unknown(_) => self.out.unknown_tags += 1,
+                EvKind::Unknown(_) => {
+                    out.unknown_tags += 1;
+                    out.anomalies.unknown_tags += 1;
+                }
             }
         }
         // Session teardown: open frames are incomplete calls.
         let open: usize =
             self.active.frames.len() + self.suspended.iter().map(|s| s.frames.len()).sum::<usize>();
-        self.out.open_at_end += open as u64;
-        self.active = PStack::default();
-        self.suspended.clear();
+        out.open_at_end += open as u64;
+        out.anomalies.unmatched_entries += open as u64;
+        // Retire every stack into the free pool, keeping capacity for
+        // the next session.
+        self.active.frames.clear();
+        self.active.lane = 0;
+        for mut s in self.suspended.drain(..) {
+            s.frames.clear();
+            self.free.push(s.frames);
+        }
         self.next_lane = 1;
         self.in_switch = false;
-        self.trace.push(TraceItem {
+        out.trace.push(TraceItem {
             t: events.last().map_or(0, |e| e.t),
             depth: 0,
             lane: 0,
             kind: ItemKind::SessionBreak,
         });
-    }
-
-    fn finish(mut self) -> Reconstruction {
-        self.out.stats = self.stats;
-        self.out.trace = self.trace;
-        self.out.anomalies.orphan_exits = self.out.unmatched_exits;
-        self.out.anomalies.unknown_tags = self.out.unknown_tags;
-        self.out.anomalies.unmatched_entries = self.forced_closes + self.out.open_at_end;
-        self.out
     }
 }
 
@@ -679,11 +698,14 @@ enum Choice {
 ///
 /// This is the unit of work the streaming analyzer hands to worker
 /// threads; per-session results combine with
-/// [`Reconstruction::merge`].
+/// [`Reconstruction::merge`].  Session loops should hold a
+/// [`SessionRecon`] instead and call
+/// [`session_into`](SessionRecon::session_into) — same result, none of
+/// the per-session allocation.
 pub fn reconstruct_session(syms: &Symbols, events: &[Event]) -> Reconstruction {
-    let mut r = Recon::new(syms.clone(), false);
-    r.session(events);
-    r.finish()
+    let mut out = Reconstruction::empty(syms.clone());
+    SessionRecon::new(syms, false).session_into(events, &mut out);
+    out
 }
 
 /// Reconstructs a single capture session in recovery mode.
@@ -695,9 +717,9 @@ pub fn reconstruct_session(syms: &Symbols, events: &[Event]) -> Reconstruction {
 /// exits were lost — are force-closed without contributing statistics.
 /// Every intervention lands in [`Reconstruction::anomalies`].
 pub fn reconstruct_session_recovering(syms: &Symbols, events: &[Event]) -> Reconstruction {
-    let mut r = Recon::new(syms.clone(), true);
-    r.session(events);
-    r.finish()
+    let mut out = Reconstruction::empty(syms.clone());
+    SessionRecon::new(syms, true).session_into(events, &mut out);
+    out
 }
 
 #[cfg(test)]

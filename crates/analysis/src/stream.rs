@@ -22,8 +22,9 @@ use hwprof_tagfile::TagFile;
 use hwprof_telemetry::{Counter, Gauge, Registry, SpanLog, SpanName, SpanTrack};
 
 use crate::anomaly::Anomalies;
-use crate::events::{SessionDecoder, Symbols, TagMap};
-use crate::recon::{reconstruct_session, reconstruct_session_recovering, Reconstruction};
+use crate::columnar::{ColumnarDecoder, DenseTagTable};
+use crate::events::{Event, Symbols};
+use crate::recon::{Reconstruction, SessionRecon};
 
 /// The pipeline was already closed: [`StreamAnalyzer::feed`] or
 /// [`StreamAnalyzer::finish`] was called after `finish` consumed the
@@ -248,7 +249,7 @@ impl StreamAnalyzer {
     }
 
     fn with_mode(tf: &TagFile, workers: usize, backlog: usize, mode: Mode) -> Self {
-        let map = Arc::new(TagMap::from_tagfile(tf));
+        let table = Arc::new(DenseTagTable::from_tagfile(tf));
         let syms = Symbols::from_tagfile(tf);
         let (tx, rx) = std::sync::mpsc::sync_channel(backlog.max(1));
         let rx: Arc<Mutex<Receiver<QueuedBank>>> = Arc::new(Mutex::new(rx));
@@ -258,7 +259,7 @@ impl StreamAnalyzer {
         let workers = (0..workers.max(1))
             .map(|w| {
                 let rx = Arc::clone(&rx);
-                let map = Arc::clone(&map);
+                let table = Arc::clone(&table);
                 let syms = syms.clone();
                 let queued = Arc::clone(&queued);
                 let metrics = Arc::clone(&metrics);
@@ -267,6 +268,16 @@ impl StreamAnalyzer {
                     .name(format!("hwprof-analyze-{w}"))
                     .spawn(move || {
                         let mut done = Vec::new();
+                        // Worker-lifetime hot-path state: the columnar
+                        // decoder's scratch columns, the event buffer
+                        // and the reconstructor's frame pool all
+                        // persist across banks — steady state decodes
+                        // and reconstructs without touching the
+                        // allocator (only the per-bank result vectors
+                        // grow).
+                        let mut decoder = ColumnarDecoder::new(&table);
+                        let mut recon = SessionRecon::new(&syms, matches!(mode, Mode::Recovering));
+                        let mut events: Vec<Event> = Vec::new();
                         loop {
                             // Hold the receiver lock only to claim the
                             // next bank, never while analyzing it.
@@ -283,20 +294,20 @@ impl StreamAnalyzer {
                                 m.queue_depth
                                     .set((queued.load(Ordering::Relaxed) as isize).max(0) as u64);
                             }
-                            let mut decoder = SessionDecoder::new(&map);
-                            let mut events = Vec::new();
-                            let r = match mode {
+                            decoder.reset();
+                            events.clear();
+                            let mut r = Reconstruction::empty(syms.clone());
+                            match mode {
                                 Mode::Strict => {
                                     decoder.extend(&bank, &mut events);
-                                    reconstruct_session(&syms, &events)
+                                    recon.session_into(&events, &mut r);
                                 }
                                 Mode::Recovering => {
                                     decoder.extend_recovering(&bank, &mut events);
-                                    let mut r = reconstruct_session_recovering(&syms, &events);
+                                    recon.session_into(&events, &mut r);
                                     r.note(&decoder.anomalies());
-                                    r
                                 }
-                            };
+                            }
                             if let Some(m) = &live {
                                 m.note_bank(events.len() as u64, &r.anomalies);
                             }

@@ -1,0 +1,249 @@
+//! Columnar-decode bit-identity property suite: the batch SoA decoder
+//! ([`ColumnarDecoder`]) must produce byte-for-byte the same event
+//! stream and anomaly counts as the record-at-a-time
+//! [`SessionDecoder`] oracle — over arbitrary chunk boundaries, across
+//! session resets, and in recovering mode on seeded faulty streams
+//! with duplicates, time corruption, and unknown tags.
+//!
+//! Runs at 256 cases per property (`PROPTEST_CASES` overrides); the CI
+//! property job pins exactly that.
+
+use proptest::prelude::*;
+
+use hwprof_analysis::{
+    decode, decode_recovering, decode_recovering_scalar, decode_scalar, Anomalies, ColumnarDecoder,
+    DenseTagTable, Event, SessionDecoder, TagMap,
+};
+use hwprof_profiler::{FaultInjector, FaultSpec, RawRecord};
+use hwprof_tagfile::{TagFile, TagKind};
+
+/// A capture that exercises every tag class the decoder can see:
+/// functions (entry + exit tags), a context-switch pair, inline
+/// counters, and — via `sel` overflow — tags no tag file entry claims.
+/// Times advance by `dt`, so large `dt` values cross 24-bit wraps.
+fn mixed_stream(nfns: u16, ops: &[(u8, u32)]) -> (TagFile, Vec<RawRecord>) {
+    let mut tf = TagFile::new(100);
+    let fns: Vec<u16> = (0..nfns.max(1))
+        .map(|i| {
+            tf.assign(&format!("f{i}"), TagKind::Function)
+                .expect("fresh")
+        })
+        .collect();
+    let swtch = tf.assign("swtch", TagKind::ContextSwitch).expect("fresh");
+    let mark = tf.assign("MARK", TagKind::Inline).expect("fresh");
+    let mut records = Vec::new();
+    let mut t = 0u64;
+    for &(sel, dt) in ops {
+        t += u64::from(dt);
+        let tag = match sel % 8 {
+            0 => fns[usize::from(sel / 8) % fns.len()] + 1, // exit
+            1 => swtch,
+            2 => swtch + 1,
+            3 => mark,
+            4 => 9000 + u16::from(sel), // unknown tag
+            _ => fns[usize::from(sel) % fns.len()],
+        };
+        records.push(RawRecord::latch(tag, t));
+    }
+    (tf, records)
+}
+
+/// Splits `records` at the given (arbitrary, possibly colliding) cut
+/// points, producing chunks that may be empty.
+fn chunked(records: &[RawRecord], cuts: &[usize]) -> Vec<Vec<RawRecord>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (records.len() + 1)).collect();
+    bounds.sort_unstable();
+    let mut chunks = Vec::new();
+    let mut prev = 0;
+    for b in bounds.into_iter().chain([records.len()]) {
+        let b = b.max(prev);
+        chunks.push(records[prev..b].to_vec());
+        prev = b;
+    }
+    chunks
+}
+
+/// Scalar strict decode over chunks (the oracle).
+fn scalar_strict(map: &TagMap, chunks: &[Vec<RawRecord>]) -> Vec<Event> {
+    let mut d = SessionDecoder::new(map);
+    let mut out = Vec::new();
+    for c in chunks {
+        d.extend(c, &mut out);
+    }
+    out
+}
+
+/// Scalar recovering decode over chunks (the oracle), with anomalies.
+fn scalar_recovering(map: &TagMap, chunks: &[Vec<RawRecord>]) -> (Vec<Event>, Anomalies) {
+    let mut d = SessionDecoder::new(map);
+    let mut out = Vec::new();
+    for c in chunks {
+        d.extend_recovering(c, &mut out);
+    }
+    (out, d.anomalies())
+}
+
+/// Seeds adjacent duplicates into a stream (a stuck address counter
+/// stores the same cell twice) so the recovering dedup path is hit
+/// deterministically, not only when the fault injector happens to.
+fn with_duplicates(records: &[RawRecord], every: usize) -> Vec<RawRecord> {
+    let mut out = Vec::with_capacity(records.len() * 2);
+    for (i, r) in records.iter().enumerate() {
+        out.push(*r);
+        if every > 0 && i % every == 0 {
+            out.push(*r);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![cases(256)]
+
+    /// Strict mode: columnar decode over arbitrary chunk boundaries is
+    /// bit-identical to the scalar oracle over the same chunks.
+    #[test]
+    fn columnar_strict_matches_scalar_over_chunks(
+        nfns in 1u16..6,
+        ops in prop::collection::vec((0u8..=255, 0u32..(1 << 24)), 0..400),
+        cuts in prop::collection::vec(0usize..1000, 0..8),
+    ) {
+        let (tf, records) = mixed_stream(nfns, &ops);
+        let chunks = chunked(&records, &cuts);
+        let map = TagMap::from_tagfile(&tf);
+        let oracle = scalar_strict(&map, &chunks);
+
+        let table = DenseTagTable::from_tagfile(&tf);
+        let mut d = ColumnarDecoder::new(&table);
+        let mut got = Vec::new();
+        for c in &chunks {
+            d.extend(c, &mut got);
+        }
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Recovering mode on a fault-corrupted stream with seeded
+    /// duplicates: events AND per-class anomaly counts are
+    /// bit-identical to the scalar oracle, over arbitrary chunks.
+    #[test]
+    fn columnar_recovering_matches_scalar_on_faulty_streams(
+        nfns in 1u16..6,
+        ops in prop::collection::vec((0u8..=255, 0u32..5000), 0..300),
+        dup_every in 0usize..20,
+        ppm in 0u32..400_000,
+        seed in 0u64..1_000_000,
+        cuts in prop::collection::vec(0usize..1000, 0..8),
+    ) {
+        let (tf, clean) = mixed_stream(nfns, &ops);
+        let inj = FaultInjector::new(
+            FaultSpec { flip_bit: None, refuse_after: None, ..FaultSpec::uniform(ppm) },
+            seed,
+        );
+        let faulty = with_duplicates(&inj.corrupt_records(&clean), dup_every);
+        let chunks = chunked(&faulty, &cuts);
+        let map = TagMap::from_tagfile(&tf);
+        let (oracle, oracle_anoms) = scalar_recovering(&map, &chunks);
+
+        let table = DenseTagTable::from_tagfile(&tf);
+        let mut d = ColumnarDecoder::new(&table);
+        let mut got = Vec::new();
+        for c in &chunks {
+            d.extend_recovering(c, &mut got);
+        }
+        prop_assert_eq!(got, oracle);
+        prop_assert_eq!(d.anomalies(), oracle_anoms);
+    }
+
+    /// Chunking is invisible: for a faulty stream, every single split
+    /// point yields the same events as the unsplit batch decode.
+    #[test]
+    fn recovering_decode_is_split_invariant(
+        nfns in 1u16..4,
+        ops in prop::collection::vec((0u8..=255, 0u32..5000), 0..60),
+        ppm in 0u32..400_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let (tf, clean) = mixed_stream(nfns, &ops);
+        let inj = FaultInjector::new(
+            FaultSpec { flip_bit: None, refuse_after: None, ..FaultSpec::uniform(ppm) },
+            seed,
+        );
+        let faulty = inj.corrupt_records(&clean);
+        let table = DenseTagTable::from_tagfile(&tf);
+        let mut whole = ColumnarDecoder::new(&table);
+        let mut batch = Vec::new();
+        whole.extend_recovering(&faulty, &mut batch);
+        for split in 0..=faulty.len() {
+            let mut d = ColumnarDecoder::new(&table);
+            let mut out = Vec::new();
+            d.extend_recovering(&faulty[..split], &mut out);
+            d.extend_recovering(&faulty[split..], &mut out);
+            prop_assert!(out == batch, "events diverge at split {}", split);
+            prop_assert!(
+                d.anomalies() == whole.anomalies(),
+                "anomalies diverge at split {}", split
+            );
+        }
+    }
+
+    /// `reset` restores a decoder to factory state: a reused decoder
+    /// (the analyzer/stream worker pattern) decodes a second session
+    /// exactly as a fresh one would.
+    #[test]
+    fn reset_is_factory_fresh(
+        nfns in 1u16..4,
+        ops_a in prop::collection::vec((0u8..=255, 0u32..5000), 0..120),
+        ops_b in prop::collection::vec((0u8..=255, 0u32..5000), 0..120),
+        ppm in 0u32..400_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let (tf, a) = mixed_stream(nfns, &ops_a);
+        let (_, b) = mixed_stream(nfns, &ops_b);
+        let inj = FaultInjector::new(
+            FaultSpec { flip_bit: None, refuse_after: None, ..FaultSpec::uniform(ppm) },
+            seed,
+        );
+        let b = inj.corrupt_records(&b);
+        let table = DenseTagTable::from_tagfile(&tf);
+
+        let mut reused = ColumnarDecoder::new(&table);
+        let mut scratch = Vec::new();
+        reused.extend_recovering(&a, &mut scratch);
+        reused.reset();
+        let mut got = Vec::new();
+        reused.extend_recovering(&b, &mut got);
+
+        let mut fresh = ColumnarDecoder::new(&table);
+        let mut want = Vec::new();
+        fresh.extend_recovering(&b, &mut want);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(reused.anomalies(), fresh.anomalies());
+    }
+
+    /// The public one-shot entry points agree wholesale: `decode` vs
+    /// `decode_scalar`, `decode_recovering` vs its scalar twin —
+    /// symbols, events, and anomalies.
+    #[test]
+    fn one_shot_entry_points_agree(
+        nfns in 1u16..6,
+        ops in prop::collection::vec((0u8..=255, 0u32..(1 << 24)), 0..300),
+        ppm in 0u32..400_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let (tf, clean) = mixed_stream(nfns, &ops);
+        let (syms_c, ev_c) = decode(&clean, &tf);
+        let (syms_s, ev_s) = decode_scalar(&clean, &tf);
+        prop_assert_eq!(syms_c, syms_s);
+        prop_assert_eq!(ev_c, ev_s);
+
+        let inj = FaultInjector::new(
+            FaultSpec { flip_bit: None, refuse_after: None, ..FaultSpec::uniform(ppm) },
+            seed,
+        );
+        let faulty = inj.corrupt_records(&clean);
+        let (_, ev_c, an_c) = decode_recovering(&faulty, &tf);
+        let (_, ev_s, an_s) = decode_recovering_scalar(&faulty, &tf);
+        prop_assert_eq!(ev_c, ev_s);
+        prop_assert_eq!(an_c, an_s);
+    }
+}

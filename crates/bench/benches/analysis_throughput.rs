@@ -1,11 +1,13 @@
 //! Analysis-software performance: decoding and reconstructing a full
 //! RAM load (the paper's "uploaded to a UNIX host" step).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use hwprof_analysis::{
-    decode, summary_report, trace_report, Analyzer, Event, SessionDecoder, TagMap, TraceStyle,
+    decode, decode_recovering, decode_recovering_scalar, decode_scalar, summary_report,
+    trace_report, Analyzer, Event, Reconstruction, SessionDecoder, SessionRecon, StreamAnalyzer,
+    Symbols, TagMap, TraceStyle,
 };
-use hwprof_profiler::RawRecord;
+use hwprof_profiler::{BankSink, RawRecord};
 use hwprof_tagfile::{TagFile, TagKind};
 
 /// Builds a synthetic but structurally valid 16384-event capture:
@@ -47,8 +49,45 @@ fn bench_analysis(c: &mut Criterion) {
     let (tf, records) = synthetic_capture();
     let mut g = c.benchmark_group("analysis");
     g.throughput(Throughput::Elements(records.len() as u64));
+    // Columnar hot path vs the scalar oracle it must beat: the
+    // regression gate holds `decode_16k` at >= 3x `decode_scalar_16k`.
     g.bench_function("decode_16k", |b| {
         b.iter(|| decode(&records, &tf));
+    });
+    g.bench_function("decode_scalar_16k", |b| {
+        b.iter(|| decode_scalar(&records, &tf));
+    });
+    g.bench_function("decode_recovering_16k", |b| {
+        b.iter(|| decode_recovering(&records, &tf));
+    });
+    g.bench_function("decode_recovering_scalar_16k", |b| {
+        b.iter(|| decode_recovering_scalar(&records, &tf));
+    });
+    // Steady state, as the analyzer and stream workers actually run:
+    // tag table built once, decoder scratch and event buffer reused
+    // across banks.  The scalar twin gets the same treatment (prebuilt
+    // `TagMap`, reused output buffer) so the ratio isolates the decode
+    // loop itself.
+    let table = hwprof_analysis::DenseTagTable::from_tagfile(&tf);
+    g.bench_function("decode_hot_16k", |b| {
+        let mut decoder = hwprof_analysis::ColumnarDecoder::new(&table);
+        let mut events = Vec::new();
+        b.iter(|| {
+            decoder.reset();
+            events.clear();
+            decoder.extend(&records, &mut events);
+            events.len()
+        });
+    });
+    let map = TagMap::from_tagfile(&tf);
+    g.bench_function("decode_scalar_hot_16k", |b| {
+        let mut events = Vec::new();
+        b.iter(|| {
+            let mut decoder = SessionDecoder::new(&map);
+            events.clear();
+            decoder.extend(&records, &mut events);
+            events.len()
+        });
     });
     let (syms, events) = decode(&records, &tf);
     let analyzer = Analyzer::new(&syms);
@@ -102,5 +141,62 @@ fn bench_parallel_reconstruction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_parallel_reconstruction);
+/// Arena reconstruction rate: one reused [`SessionRecon`] accumulating
+/// 64 sessions straight into a shared [`Reconstruction`] — the
+/// analyzer's fold path, with the frame pool warm — measured in
+/// sessions per second.
+fn bench_arena_sessions(c: &mut Criterion) {
+    let (tf, bank) = synthetic_capture();
+    let syms = Symbols::from_tagfile(&tf);
+    let (_, events) = decode(&bank, &tf);
+    let sessions: Vec<&[Event]> = (0..64).map(|_| events.as_slice()).collect();
+    let mut g = c.benchmark_group("arena");
+    g.throughput(Throughput::Elements(sessions.len() as u64));
+    g.bench_function("sessions_64", |b| {
+        let mut recon = SessionRecon::new(&syms, false);
+        b.iter(|| {
+            let mut out = Reconstruction::empty(syms.clone());
+            for s in &sessions {
+                recon.session_into(s, &mut out);
+            }
+            out
+        });
+    });
+    g.finish();
+}
+
+/// Streaming end to end: 64 raw banks in, one merged reconstruction
+/// out, through the full [`StreamAnalyzer`] pipeline (bank queue,
+/// decode workers, merge).
+fn bench_streaming(c: &mut Criterion) {
+    let (tf, bank) = synthetic_capture();
+    let banks: Vec<Vec<RawRecord>> = (0..64).map(|_| bank.clone()).collect();
+    let n: u64 = banks.iter().map(|b| b.len() as u64).sum();
+    let mut g = c.benchmark_group("streaming");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(10);
+    g.bench_function("end_to_end_1m", |b| {
+        b.iter_batched(
+            || StreamAnalyzer::new(&tf, 4),
+            |mut analyzer| {
+                let mut feed = analyzer.feed().expect("open pipeline");
+                for bank in &banks {
+                    assert!(feed.bank(bank.clone()));
+                }
+                drop(feed);
+                analyzer.finish().expect("first finish")
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_analysis,
+    bench_parallel_reconstruction,
+    bench_arena_sessions,
+    bench_streaming
+);
 criterion_main!(benches);

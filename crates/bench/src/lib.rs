@@ -4,10 +4,17 @@
 //! Run them all with:
 //!
 //! ```text
-//! for b in $(cargo run --help >/dev/null 2>&1; ls crates/bench/src/bin); do
-//!     cargo run -q -p hwprof-bench --bin ${b%.rs}
+//! for b in crates/bench/src/bin/repro_*.rs; do
+//!     b=$(basename "$b" .rs)
+//!     cargo run -q -p hwprof-bench --bin "$b"
 //! done
 //! ```
+//!
+//! The [`gate`] module backs the `bench_gate` binary: it diffs a fresh
+//! `BENCH_*.json` run against the checked-in baselines and fails CI on
+//! throughput regressions.
+
+pub mod gate;
 
 /// Prints the experiment banner.
 pub fn banner(id: &str, title: &str) {

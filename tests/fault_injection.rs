@@ -5,7 +5,7 @@
 
 use hwprof::analysis::{
     decode_recovering, reconstruct_session_recovering, summary_report, Anomalies, Reconstruction,
-    StreamAnalyzer,
+    SessionRecon, StreamAnalyzer, Symbols,
 };
 use hwprof::profiler::{
     parse_raw_lossy, serialize_raw, BankSink, BoardConfig, FaultInjector, FaultSpec, RawRecord,
@@ -295,5 +295,140 @@ fn refused_bank_capture_stays_analyzable() {
     assert!(
         report.contains("Elapsed time"),
         "partial capture renders a report"
+    );
+}
+
+/// Arena accumulation across sessions (one reused `SessionRecon`
+/// writing into a shared `Reconstruction`, the analyzer's fold path)
+/// is bit-identical to merging independent one-shot reconstructions —
+/// per-class anomaly counts included.
+#[test]
+fn arena_recon_accumulation_matches_merged_one_shots() {
+    let (tf, clean) = flat_stream(500);
+    let syms = Symbols::from_tagfile(&tf);
+    let sessions: Vec<_> = [11u64, 22, 33]
+        .iter()
+        .map(|&seed| {
+            let inj = FaultInjector::new(FaultSpec::uniform(20_000), seed);
+            let faulty = inj.corrupt_records(&clean);
+            let (_, events, anoms) = decode_recovering(&faulty, &tf);
+            (events, anoms)
+        })
+        .collect();
+
+    let mut merged = Reconstruction::empty(syms.clone());
+    for (events, anoms) in &sessions {
+        let mut r = reconstruct_session_recovering(&syms, events);
+        r.note(anoms);
+        merged.merge(r);
+    }
+
+    let mut arena = Reconstruction::empty(syms.clone());
+    let mut recon = SessionRecon::new(&syms, true);
+    for (events, anoms) in &sessions {
+        recon.session_into(events, &mut arena);
+        arena.note(anoms);
+    }
+    assert_eq!(arena, merged, "arena fold must equal merge of one-shots");
+}
+
+/// The single-fault per-class goldens hold unchanged through the arena
+/// path, with the `SessionRecon` deliberately reused (dirty pools and
+/// lane counters) between fault classes.
+#[test]
+fn arena_recon_keeps_per_class_fault_goldens() {
+    let (tf, clean) = flat_stream(1000);
+    let syms = Symbols::from_tagfile(&tf);
+    let mut recon = SessionRecon::new(&syms, true);
+    let run = |recon: &mut SessionRecon, spec: FaultSpec, seed: u64| {
+        let inj = FaultInjector::new(spec, seed);
+        let faulty = inj.corrupt_records(&clean);
+        let (_, events, anoms) = decode_recovering(&faulty, &tf);
+        let mut out = Reconstruction::empty(syms.clone());
+        recon.session_into(&events, &mut out);
+        out.note(&anoms);
+        (out, inj.counts())
+    };
+
+    // Stuck counter: every duplicate dropped at decode, nothing else.
+    let (r, counts) = run(
+        &mut recon,
+        FaultSpec {
+            stuck_ppm: 5_000,
+            ..FaultSpec::none()
+        },
+        12,
+    );
+    assert!(counts.duplicated > 0);
+    assert_eq!(r.anomalies.duplicates, counts.duplicated);
+    assert_eq!(r.anomalies.total(), counts.duplicated);
+
+    // Spurious tags: each one an unknown tag, nothing else.
+    let (r, counts) = run(
+        &mut recon,
+        FaultSpec {
+            spurious_ppm: 5_000,
+            ..FaultSpec::none()
+        },
+        13,
+    );
+    assert!(counts.spurious > 0);
+    assert_eq!(r.anomalies.unknown_tags, counts.spurious);
+    assert_eq!(r.anomalies.total(), counts.spurious);
+
+    // Dropped triggers: exactly one orphan exit or unmatched entry
+    // each (all-distinct functions, so no cross-talk).
+    let (r, counts) = run(
+        &mut recon,
+        FaultSpec {
+            drop_ppm: 5_000,
+            ..FaultSpec::none()
+        },
+        11,
+    );
+    assert!(counts.dropped > 0);
+    assert_eq!(
+        r.anomalies.orphan_exits + r.anomalies.unmatched_entries,
+        counts.dropped
+    );
+    assert_eq!(
+        r.anomalies.total(),
+        r.anomalies.orphan_exits + r.anomalies.unmatched_entries
+    );
+}
+
+/// The `anomaly_limit_ppm` trust gate fires exactly at the boundary of
+/// the arena path's anomaly counts: the observed ppm passes, one ppm
+/// below refuses, and a configured limit of zero refuses by default.
+#[test]
+fn anomaly_limit_gate_is_exact_on_arena_counts() {
+    let capture = Experiment::new()
+        .profile_modules(&["kern", "locore"])
+        .scenario(scenarios::clock_idle(20))
+        .faults(FaultSpec::uniform(20_000), 7)
+        .try_run()
+        .expect("run survives injection");
+    let r = capture.try_analyze(None).expect("default never refuses");
+    let total = r.anomalies.total();
+    let tags = r.tags as u64;
+    assert!(total > 0, "2% corruption must surface anomalies");
+
+    let exact = ((total * 1_000_000).div_ceil(tags.max(1))) as u32;
+    assert!(capture.try_analyze(Some(exact)).is_ok());
+    match capture.try_analyze(Some(exact - 1)) {
+        Err(Error::CorruptUpload { anomalies, .. }) => assert_eq!(anomalies, total),
+        other => panic!("expected CorruptUpload just under the boundary, got {other:?}"),
+    }
+
+    let strict = Experiment::new()
+        .profile_modules(&["kern", "locore"])
+        .scenario(scenarios::clock_idle(20))
+        .faults(FaultSpec::uniform(20_000), 7)
+        .anomaly_limit_ppm(0)
+        .try_run()
+        .expect("run survives injection");
+    assert!(
+        matches!(strict.try_analyze(None), Err(Error::CorruptUpload { .. })),
+        "a configured zero limit must refuse without an explicit override"
     );
 }
