@@ -135,8 +135,10 @@ struct PStack {
 /// identity and [`Reconstruction::merge`] combines per-session results
 /// in session order into exactly what one sequential pass over the
 /// concatenated sessions would produce.  That property is what lets
-/// the streaming analyzer fan sessions out across worker threads.
-#[derive(Debug, PartialEq)]
+/// the streaming analyzer fan sessions out across worker threads — and
+/// what lets a fleet aggregator fold per-machine reconstructions into
+/// one fleet-wide profile.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reconstruction {
     /// Symbol table used.
     pub syms: Symbols,

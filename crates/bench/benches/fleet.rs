@@ -1,0 +1,104 @@
+//! Fleet-aggregation throughput: shard frames from N machines through
+//! the sharded aggregator, ingest to sealed per-machine ingests, plus
+//! the fleet-level monoid merge.  `BENCH_fleet.json` pins these rates
+//! in CI via `bench_gate`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hwprof_analysis::{Reconstruction, Symbols};
+use hwprof_fleet::{FleetAggregator, MachineId, ShardFrame};
+use hwprof_profiler::RawRecord;
+use hwprof_tagfile::{TagFile, TagKind};
+
+const MACHINES: u32 = 16;
+const BANKS_PER_MACHINE: u64 = 4;
+const BANK_RECORDS: usize = 2048;
+
+/// A fleet's worth of synthetic shard frames: every machine ships
+/// `BANKS_PER_MACHINE` banks of nested calls with periodic context
+/// switches, offset per machine so the streams are not identical.
+fn synthetic_fleet() -> (TagFile, Vec<ShardFrame>) {
+    let mut tf = TagFile::new(500);
+    let fns: Vec<u16> = (0..40)
+        .map(|i| {
+            tf.assign(&format!("fn{i}"), TagKind::Function)
+                .expect("fresh file")
+        })
+        .collect();
+    let swtch = tf.assign("swtch", TagKind::ContextSwitch).expect("fresh");
+    let mut frames = Vec::new();
+    for machine in 0..MACHINES {
+        for index in 0..BANKS_PER_MACHINE {
+            let mut records = Vec::with_capacity(BANK_RECORDS);
+            let mut t = u64::from(machine) * 17 + index * 5;
+            let mut i = machine as usize + index as usize;
+            while records.len() + 8 < BANK_RECORDS {
+                let a = fns[i % fns.len()];
+                let b = fns[(i * 7 + 3) % fns.len()];
+                for tag in [a, b, b + 1] {
+                    t += 7;
+                    records.push(RawRecord::latch(tag, t));
+                }
+                if i % 11 == 10 {
+                    t += 9;
+                    records.push(RawRecord::latch(swtch, t));
+                    t += 25;
+                    records.push(RawRecord::latch(swtch + 1, t));
+                }
+                t += 4;
+                records.push(RawRecord::latch(a + 1, t));
+                i += 1;
+            }
+            frames.push(ShardFrame::pack(machine, index, &records));
+        }
+    }
+    (tf, frames)
+}
+
+fn bench_fleet_aggregate(c: &mut Criterion) {
+    let (tf, frames) = synthetic_fleet();
+    let total_records: u64 = MACHINES as u64 * BANKS_PER_MACHINE * BANK_RECORDS as u64;
+    let mut g = c.benchmark_group("fleet_aggregate");
+    g.throughput(Throughput::Elements(total_records));
+    g.sample_size(10);
+    // Full ingest: spawn, stream every frame, seal.  Worker count must
+    // not change the result — only this rate.
+    for shards in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("ingest", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let agg = FleetAggregator::spawn(&tf, s);
+                for frame in &frames {
+                    agg.feed(frame.clone());
+                }
+                agg.finish()
+            });
+        });
+    }
+    g.finish();
+
+    // The fleet-level monoid fold over the sealed per-machine results.
+    let agg = FleetAggregator::spawn(&tf, 4);
+    for frame in &frames {
+        agg.feed(frame.clone());
+    }
+    let ingested = agg.finish();
+    let profiles: Vec<(MachineId, Reconstruction)> = ingested
+        .into_iter()
+        .map(|(m, ingest)| (m, ingest.profile))
+        .collect();
+    let syms = Symbols::from_tagfile(&tf);
+    let mut g = c.benchmark_group("fleet_merge");
+    g.throughput(Throughput::Elements(profiles.len() as u64));
+    g.bench_function("machines_16", |b| {
+        b.iter(|| {
+            let mut fleet = Reconstruction::empty(syms.clone());
+            for (_, profile) in &profiles {
+                fleet.merge(profile.clone());
+            }
+            fleet
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet_aggregate);
+criterion_main!(benches);

@@ -22,7 +22,8 @@
 //! ```text
 //! HWPROF_BENCH_QUICK=1 HWPROF_BENCH_JSON=. \
 //!     cargo bench -p hwprof-bench --bench analysis_throughput \
-//!                                 --bench capture_path
+//!                                 --bench capture_path \
+//!                                 --bench fleet
 //! ```
 
 use hwprof_bench::gate::{compare, merge_best, threshold_pct, BenchDoc};
@@ -31,7 +32,7 @@ use std::process::ExitCode;
 
 /// The bench binaries the gate covers (their `BENCH_<name>.json`
 /// files must exist in both directories).
-const GATED_BENCHES: &[&str] = &["analysis_throughput", "capture_path"];
+const GATED_BENCHES: &[&str] = &["analysis_throughput", "capture_path", "fleet"];
 
 /// Machine-independent within-run ratios that must hold in the fresh
 /// run: (bench, numerator id, denominator id, minimum ratio).

@@ -65,6 +65,21 @@ pub enum Error {
         /// What went wrong, in the backend's own words.
         reason: String,
     },
+    /// A fleet aggregator received a shard whose payload failed its
+    /// checksum or did not parse as a record stream.  The corruption
+    /// is in the delivered bytes, not the link: the machine's
+    /// transport already succeeded (contrast
+    /// [`Error::TransportFailed`], where retrying the upload can
+    /// help), so resubmitting the same shard reproduces the same
+    /// garbage and this is not retryable.
+    ShardCorrupt {
+        /// The fleet machine whose shard was rejected.
+        machine: u32,
+        /// The shard's bank index within that machine's capture.
+        shard: u64,
+        /// What the decoder rejected, in its own words.
+        reason: String,
+    },
     /// A supervised capture finished below the policy's minimum
     /// timeline coverage.
     CoverageTooLow {
@@ -88,7 +103,11 @@ impl Error {
     /// corruption ([`Error::CorruptUpload`] — the fault schedule is
     /// seeded, so a re-run reproduces it) and backend misconfiguration
     /// ([`Error::BackendFailed`] — the same backend observes the same
-    /// deterministic run identically) are not retryable.
+    /// deterministic run identically) and corrupt fleet shards
+    /// ([`Error::ShardCorrupt`] — the bytes are already wrong at rest;
+    /// only a transport outage, surfaced as
+    /// [`Error::TransportFailed`], is worth retrying) are not
+    /// retryable.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -131,6 +150,14 @@ impl std::fmt::Display for Error {
             Error::BackendFailed { backend, reason } => {
                 write!(f, "{backend} backend failed: {reason}")
             }
+            Error::ShardCorrupt {
+                machine,
+                shard,
+                reason,
+            } => write!(
+                f,
+                "machine {machine} shard {shard} corrupt on arrival: {reason}"
+            ),
             Error::CoverageTooLow {
                 achieved_ppm,
                 required_ppm,

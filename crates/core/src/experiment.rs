@@ -852,3 +852,18 @@ impl SupervisedCapture {
         1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
     }
 }
+
+/// Compiles the instrumented kernel's tag file without running
+/// anything: the same modified compiler pass every [`Experiment`] run
+/// uses (`swtch` always tagged), on its own.
+///
+/// The compile is deterministic, so every machine in a fleet built
+/// with the same `select` shares one tag file — which is what lets a
+/// fleet aggregator build its decoder and symbol table up front and
+/// merge per-machine [`Reconstruction`](hwprof_analysis::Reconstruction)s
+/// through the monoid.
+pub fn build_tagfile(select: &ModuleSelect) -> Result<TagFile, Error> {
+    let mut compiler = Compiler::new(500);
+    let image = compiler.compile_forced(&FUNCS, &INLINES, select, &[KFn::Swtch.idx()])?;
+    Ok(image.tagfile)
+}

@@ -51,7 +51,7 @@ pub use backend::{
 pub use comparison::{BackendComparison, BackendRow};
 pub use error::Error;
 pub use experiment::{
-    BackendCapture, Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture,
+    build_tagfile, BackendCapture, Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture,
     SupervisedCapture,
 };
 pub use hwprof_analysis::{validate_json, Analyzer, AnalyzerError, Anomalies, Exporter, JsonValue};

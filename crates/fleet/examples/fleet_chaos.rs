@@ -1,0 +1,36 @@
+//! An eight-machine fleet under the seeded chaos plan: one machine
+//! crashes mid-capture, one shard is corrupted in transit, one drain
+//! straggles past the deadline (and is recovered by the hedged
+//! re-drain).  The partial-fleet report stays exactly accounted and
+//! byte-deterministic.
+//!
+//! ```text
+//! cargo run --example fleet_chaos
+//! ```
+
+use hwprof_fleet::{ChaosPlan, Fleet, FleetPolicy};
+
+fn main() {
+    let policy = FleetPolicy {
+        machines: 8,
+        shards: 4,
+        ..FleetPolicy::default()
+    };
+    let plan = ChaosPlan::seeded(7, policy.machines);
+    println!("chaos plan:\n{}", plan.describe());
+    let report = Fleet::new(policy)
+        .chaos(plan)
+        .run()
+        .expect("fleet runs to completion even under chaos");
+    println!("{report}");
+    for m in &report.machines {
+        for e in &m.errors {
+            println!(
+                "m{}: {e} (retryable: {})",
+                m.id,
+                if e.is_retryable() { "yes" } else { "no" }
+            );
+        }
+    }
+    assert!(report.coverage.is_exact(), "the fleet ledger is exact");
+}

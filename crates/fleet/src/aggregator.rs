@@ -1,0 +1,241 @@
+//! The sharded fleet aggregator: one ingest channel, a dispatcher,
+//! and a pool of shard workers.
+//!
+//! The service shape follows the long-running ingest/dispatch
+//! structure of foundry's anvil node: a single cloneable ingest
+//! handle feeds a dispatcher thread, which routes each frame to the
+//! shard worker that owns its machine (`machine % shards`), and every
+//! worker runs its own decode loop until the channels drain.  Two
+//! properties fall out of that shape:
+//!
+//! * **Fault isolation** — a corrupt shard is rejected inside one
+//!   worker with an [`Error::ShardCorrupt`](hwprof::Error::ShardCorrupt)
+//!   recorded against one machine; no other machine's pipeline even
+//!   observes it.
+//! * **Bit-identical results** — workers never fold across machines.
+//!   Each machine's banks accumulate keyed by bank index and are
+//!   reconstructed in index order at [`FleetAggregator::finish`],
+//!   which is exactly the order `CaptureSupervisor::finish()` sorts
+//!   its sessions into.  The per-machine result therefore matches the
+//!   machine's own sequential `Analyzer::run` bit for bit, no matter
+//!   how frames interleaved on the wire or how many workers ran.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use hwprof::Error;
+use hwprof_analysis::{
+    Anomalies, ColumnarDecoder, DenseTagTable, Event, Reconstruction, SessionRecon, Symbols,
+};
+use hwprof_profiler::parse_raw;
+use hwprof_tagfile::TagFile;
+
+use crate::frame::{MachineId, ShardFrame};
+
+/// Everything the aggregator ingested for one machine.
+#[derive(Debug)]
+pub struct MachineIngest {
+    /// The machine's reconstruction, folded from its delivered banks
+    /// in bank-index order.  Coverage is *not* folded in — the
+    /// aggregator never sees the machine's ledger; the fleet driver
+    /// adds it from the machine's final report.
+    pub profile: Reconstruction,
+    /// Banks decoded and folded in.
+    pub shards: u64,
+    /// Records across those banks.
+    pub records: u64,
+    /// Decode-level anomalies (duplicates, time jumps, truncations)
+    /// across the delivered banks — the data-integrity signal the
+    /// health state machine quarantines on.  Structural anomalies
+    /// from bank boundaries (open frames, orphan exits) live in
+    /// [`MachineIngest::profile`] and are *not* counted here: they
+    /// are normal for any supervised capture.
+    pub decode_anomalies: u64,
+    /// Frames rejected (checksum mismatch or unparseable payload).
+    pub corrupt_shards: u64,
+    /// Frames dropped as duplicates of an already-ingested index
+    /// (a hedged re-drain that raced the original delivery).
+    pub dup_shards: u64,
+    /// One [`Error::ShardCorrupt`] per rejected frame.
+    pub errors: Vec<Error>,
+}
+
+impl MachineIngest {
+    /// The ingest of a machine that never delivered anything.
+    pub fn empty(syms: Symbols) -> Self {
+        MachineIngest {
+            profile: Reconstruction::empty(syms),
+            shards: 0,
+            records: 0,
+            decode_anomalies: 0,
+            corrupt_shards: 0,
+            dup_shards: 0,
+            errors: Vec::new(),
+        }
+    }
+}
+
+/// The long-running aggregation service.  Spawn it, clone
+/// [`FleetAggregator::sender`] into every machine, then
+/// [`FleetAggregator::finish`] once the fleet has drained.
+pub struct FleetAggregator {
+    ingest: Sender<ShardFrame>,
+    dispatcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<BTreeMap<MachineId, MachineIngest>>>,
+}
+
+impl FleetAggregator {
+    /// Starts the dispatcher and `shards` workers (clamped to at
+    /// least one), each with its own decoder built from `tagfile`.
+    pub fn spawn(tagfile: &TagFile, shards: usize) -> FleetAggregator {
+        let shards = shards.max(1);
+        let (ingest, rx) = channel::<ShardFrame>();
+        let mut worker_txs: Vec<Sender<ShardFrame>> = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, worker_rx) = channel::<ShardFrame>();
+            worker_txs.push(tx);
+            let tf = tagfile.clone();
+            workers.push(std::thread::spawn(move || shard_worker(&tf, worker_rx)));
+        }
+        let dispatcher = std::thread::spawn(move || {
+            for frame in rx {
+                let lane = frame.machine as usize % worker_txs.len();
+                // A worker can only be gone if it panicked; the panic
+                // resurfaces at finish() when the thread is joined.
+                let _ = worker_txs[lane].send(frame);
+            }
+            // rx closed: dropping worker_txs here lets workers drain.
+        });
+        FleetAggregator {
+            ingest,
+            dispatcher,
+            workers,
+        }
+    }
+
+    /// A cloneable ingest handle.  Every machine uploads through one
+    /// of these; dropping them all (plus the aggregator's own, at
+    /// [`FleetAggregator::finish`]) is what ends the service.
+    pub fn sender(&self) -> Sender<ShardFrame> {
+        self.ingest.clone()
+    }
+
+    /// Feeds one frame through the aggregator's own handle (used for
+    /// hedged re-drains, which happen after the machines exited).
+    pub fn feed(&self, frame: ShardFrame) {
+        let _ = self.ingest.send(frame);
+    }
+
+    /// Closes ingest, drains the pipeline, and returns every
+    /// machine's ingest.  Worker maps are disjoint by construction
+    /// (machine→worker is a function of the id), so the union is a
+    /// plain merge.
+    pub fn finish(self) -> BTreeMap<MachineId, MachineIngest> {
+        drop(self.ingest);
+        if let Err(panic) = self.dispatcher.join() {
+            std::panic::resume_unwind(panic);
+        }
+        let mut out = BTreeMap::new();
+        for worker in self.workers {
+            match worker.join() {
+                Ok(map) => out.extend(map),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    }
+}
+
+/// Per-machine accumulation inside one worker: banks keyed by index,
+/// decoded eagerly on arrival, folded in index order at drain.
+struct Slot {
+    banks: BTreeMap<u64, DecodedBank>,
+    corrupt: u64,
+    dups: u64,
+    errors: Vec<Error>,
+}
+
+struct DecodedBank {
+    events: Vec<Event>,
+    anomalies: Anomalies,
+    records: u64,
+}
+
+fn shard_worker(tagfile: &TagFile, rx: Receiver<ShardFrame>) -> BTreeMap<MachineId, MachineIngest> {
+    let table = DenseTagTable::from_tagfile(tagfile);
+    let syms = Symbols::from_tagfile(tagfile);
+    let mut decoder = ColumnarDecoder::new(&table);
+    let mut events: Vec<Event> = Vec::new();
+    let mut slots: BTreeMap<MachineId, Slot> = BTreeMap::new();
+    for frame in rx {
+        let slot = slots.entry(frame.machine).or_insert_with(|| Slot {
+            banks: BTreeMap::new(),
+            corrupt: 0,
+            dups: 0,
+            errors: Vec::new(),
+        });
+        if slot.banks.contains_key(&frame.index) {
+            slot.dups += 1;
+            continue;
+        }
+        let reason = if frame.verify() {
+            match parse_raw(&frame.payload) {
+                Ok(records) => {
+                    decoder.reset();
+                    events.clear();
+                    decoder.extend(&records, &mut events);
+                    slot.banks.insert(
+                        frame.index,
+                        DecodedBank {
+                            events: events.clone(),
+                            anomalies: decoder.anomalies(),
+                            records: records.len() as u64,
+                        },
+                    );
+                    continue;
+                }
+                Err(e) => e.to_string(),
+            }
+        } else {
+            "checksum mismatch".to_string()
+        };
+        slot.corrupt += 1;
+        slot.errors.push(Error::ShardCorrupt {
+            machine: frame.machine,
+            shard: frame.index,
+            reason,
+        });
+    }
+    // Ingest closed: fold each machine in bank-index order — the same
+    // order the machine's own supervisor sorts sessions into, so this
+    // reproduces its sequential analysis exactly.
+    slots
+        .into_iter()
+        .map(|(machine, slot)| {
+            let mut profile = Reconstruction::empty(syms.clone());
+            let mut recon = SessionRecon::new(&syms, false);
+            let mut decode_anomalies = Anomalies::default();
+            let mut shards = 0u64;
+            let mut records = 0u64;
+            for bank in slot.banks.values() {
+                recon.session_into(&bank.events, &mut profile);
+                decode_anomalies.merge(&bank.anomalies);
+                shards += 1;
+                records += bank.records;
+            }
+            profile.note(&decode_anomalies);
+            let ingest = MachineIngest {
+                profile,
+                shards,
+                records,
+                decode_anomalies: decode_anomalies.total(),
+                corrupt_shards: slot.corrupt,
+                dup_shards: slot.dups,
+                errors: slot.errors,
+            };
+            (machine, ingest)
+        })
+        .collect()
+}

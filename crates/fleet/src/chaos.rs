@@ -1,0 +1,216 @@
+//! Seeded fleet-level chaos plans.
+//!
+//! A [`ChaosPlan`] assigns at most one [`ChaosEvent`] per machine and
+//! is fully determined by its seed: the same plan against the same
+//! fleet policy reproduces the same crashes, the same corrupt bytes
+//! and the same straggler, which is what lets the E20 gate pin the
+//! partial-fleet report byte for byte.  Record-level corruption
+//! reuses the PR-2 `FaultInjector`
+//! ([`ShardFrame::corrupted`](crate::ShardFrame::corrupted)); the
+//! events here are the fleet-level layer above it.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frame::MachineId;
+
+/// One machine's assigned misfortune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The machine dies mid-capture: its uplink goes silent after
+    /// delivering this many shards, and no final report ever reaches
+    /// the driver.  The fleet must account for it as Lost.
+    Crash {
+        /// Shards delivered before the silence.
+        after_shards: u64,
+    },
+    /// A transport outage: every upload attempt whose index falls in
+    /// `[start, end)` fails.  The machine's supervisor retries,
+    /// backs off and may trip its breaker — the *retryable* failure
+    /// mode, in contrast to a corrupt shard.
+    Outage {
+        /// First failing attempt index.
+        start: u64,
+        /// First succeeding attempt index after the outage.
+        end: u64,
+    },
+    /// One shard (by delivery order) is corrupted in transit.  The
+    /// aggregator must reject it by checksum and quarantine the
+    /// machine — corrupt data is excluded, never merged.
+    CorruptShard {
+        /// Which delivered shard (0-based) gets mangled.
+        shard: u64,
+    },
+    /// A slow drain: the machine buffers its shards and only offers
+    /// them `delay_us` of simulated time after its capture finished.
+    /// If that exceeds the fleet's drain deadline, the driver hedges
+    /// with one re-drain; `hedge_recovers` decides whether the hedge
+    /// succeeds or the machine is given up as Lost.
+    Straggle {
+        /// How late the machine's drain runs, in simulated µs.
+        delay_us: u64,
+        /// Whether the one hedged re-drain gets the data out.
+        hedge_recovers: bool,
+    },
+}
+
+impl ChaosEvent {
+    /// Short human label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosEvent::Crash { .. } => "crash",
+            ChaosEvent::Outage { .. } => "outage",
+            ChaosEvent::CorruptShard { .. } => "corrupt-shard",
+            ChaosEvent::Straggle { .. } => "straggle",
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosEvent::Crash { after_shards } => {
+                write!(f, "crash mid-capture after {after_shards} shard(s)")
+            }
+            ChaosEvent::Outage { start, end } => {
+                write!(f, "transport outage over attempts [{start}, {end})")
+            }
+            ChaosEvent::CorruptShard { shard } => {
+                write!(f, "shard {shard} corrupted in transit")
+            }
+            ChaosEvent::Straggle {
+                delay_us,
+                hedge_recovers,
+            } => write!(
+                f,
+                "drain straggles {delay_us} us ({})",
+                if *hedge_recovers {
+                    "hedge recovers"
+                } else {
+                    "hedge fails"
+                }
+            ),
+        }
+    }
+}
+
+/// A per-machine schedule of [`ChaosEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: BTreeMap<MachineId, ChaosEvent>,
+}
+
+fn pick(rng: &mut StdRng, free: &mut Vec<MachineId>) -> Option<MachineId> {
+    if free.is_empty() {
+        None
+    } else {
+        Some(free.remove(rng.gen_range(0..free.len())))
+    }
+}
+
+impl ChaosPlan {
+    /// No chaos: every machine runs clean.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Assigns `event` to `machine` (replacing any earlier
+    /// assignment — one fault domain, one fault).
+    pub fn with(mut self, machine: MachineId, event: ChaosEvent) -> Self {
+        self.events.insert(machine, event);
+        self
+    }
+
+    /// The event assigned to `machine`, if any.
+    pub fn event(&self, machine: MachineId) -> Option<ChaosEvent> {
+        self.events.get(&machine).copied()
+    }
+
+    /// Number of machines with an assigned event.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no machine has an assigned event.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The classic seeded schedule: one crash, one straggler whose
+    /// hedged re-drain succeeds, and one corrupt shard — distinct
+    /// victims drawn deterministically from `seed`.  Fleets of fewer
+    /// than three machines get a prefix of that list.
+    pub fn seeded(seed: u64, machines: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut free: Vec<MachineId> = (0..machines).collect();
+        let mut plan = ChaosPlan::none();
+        if let Some(m) = pick(&mut rng, &mut free) {
+            plan = plan.with(
+                m,
+                ChaosEvent::Crash {
+                    after_shards: 1 + rng.gen_range(0u64..3),
+                },
+            );
+        }
+        if let Some(m) = pick(&mut rng, &mut free) {
+            plan = plan.with(
+                m,
+                ChaosEvent::Straggle {
+                    delay_us: 1_000_000,
+                    hedge_recovers: true,
+                },
+            );
+        }
+        if let Some(m) = pick(&mut rng, &mut free) {
+            plan = plan.with(
+                m,
+                ChaosEvent::CorruptShard {
+                    shard: rng.gen_range(0u64..3),
+                },
+            );
+        }
+        plan
+    }
+
+    /// One line per victim, in machine order.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (machine, event) in &self.events {
+            let _ = writeln!(out, "m{machine}: {event}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plan_is_deterministic_with_distinct_victims() {
+        let a = ChaosPlan::seeded(42, 8);
+        let b = ChaosPlan::seeded(42, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let labels: Vec<_> = (0..8)
+            .filter_map(|m| a.event(m))
+            .map(|e| e.label())
+            .collect();
+        assert_eq!(labels.len(), 3, "victims must be distinct machines");
+        for want in ["crash", "straggle", "corrupt-shard"] {
+            assert!(labels.contains(&want), "{want} missing from {labels:?}");
+        }
+        assert_ne!(ChaosPlan::seeded(43, 8), a, "seed must matter");
+    }
+
+    #[test]
+    fn small_fleets_get_a_prefix() {
+        let plan = ChaosPlan::seeded(1, 2);
+        assert_eq!(plan.len(), 2);
+        let plan = ChaosPlan::seeded(1, 0);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The wire unit between a machine and the aggregator.
+//!
+//! One [`ShardFrame`] is one delivered capture bank: the machine id,
+//! the bank's index within that machine's run, the records serialized
+//! in the board's 5-byte format, and an FNV-1a checksum of those
+//! bytes.  The checksum is what turns "corrupt shard" from a silent
+//! wrong answer into an explicit
+//! [`Error::ShardCorrupt`](hwprof::Error::ShardCorrupt) at the
+//! aggregator — the bank is rejected whole, never half-decoded.
+
+use hwprof_profiler::{serialize_raw, FaultInjector, FaultSpec, RawRecord};
+
+/// A fleet machine's identity: its index in the fleet, `0..N`.
+pub type MachineId = u32;
+
+/// FNV-1a over the payload bytes.  Deterministic, order-sensitive,
+/// and cheap enough to verify on every shard.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// One capture bank in flight from a machine to the aggregator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFrame {
+    /// Which machine captured this bank.
+    pub machine: MachineId,
+    /// The bank's index within the machine's supervised run.
+    pub index: u64,
+    /// The bank's records in the board's serialized 5-byte format.
+    pub payload: Vec<u8>,
+    /// [`checksum`] of `payload` as computed by the sender.
+    pub checksum: u32,
+}
+
+impl ShardFrame {
+    /// Serializes `records` and stamps the checksum.
+    pub fn pack(machine: MachineId, index: u64, records: &[RawRecord]) -> ShardFrame {
+        let payload = serialize_raw(records);
+        let checksum = checksum(&payload);
+        ShardFrame {
+            machine,
+            index,
+            payload,
+            checksum,
+        }
+    }
+
+    /// True when the payload still matches the sender's checksum.
+    pub fn verify(&self) -> bool {
+        checksum(&self.payload) == self.checksum
+    }
+
+    /// The frame after in-transit corruption: the seeded PR-2
+    /// [`FaultInjector`] truncates 1–4 trailing bytes of the payload
+    /// (its upload-corruption model), and if that somehow left the
+    /// checksum intact a high bit of the first byte is flipped — a
+    /// corrupted frame is *guaranteed* to fail [`ShardFrame::verify`].
+    pub fn corrupted(mut self, seed: u64) -> ShardFrame {
+        let spec = FaultSpec {
+            truncate_ppm: 1_000_000,
+            ..FaultSpec::none()
+        };
+        let injector = FaultInjector::new(spec, seed);
+        self.payload = injector.corrupt_upload(std::mem::take(&mut self.payload));
+        if self.verify() {
+            match self.payload.first_mut() {
+                Some(b) => *b ^= 0x80,
+                None => self.payload.push(0xEE),
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<RawRecord> {
+        (0..20u32)
+            .map(|i| RawRecord {
+                tag: 200 + i as u16,
+                time: 1_000 + i * 7,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_roundtrips_and_verifies() {
+        let frame = ShardFrame::pack(3, 9, &records());
+        assert!(frame.verify());
+        let parsed = hwprof_profiler::parse_raw(&frame.payload).unwrap();
+        assert_eq!(parsed, records());
+    }
+
+    #[test]
+    fn corruption_always_fails_verification() {
+        for seed in 0..64u64 {
+            let frame = ShardFrame::pack(1, 0, &records()).corrupted(seed);
+            assert!(!frame.verify(), "seed {seed} slipped through");
+        }
+        // Even an empty payload cannot dodge the checksum.
+        let empty = ShardFrame::pack(1, 0, &[]).corrupted(7);
+        assert!(!empty.verify());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[3, 2, 1]));
+        assert_ne!(checksum(&[]), checksum(&[0]));
+    }
+}

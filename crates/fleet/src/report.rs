@@ -1,0 +1,283 @@
+//! The partial-fleet report: always well-defined, exactly accounted.
+//!
+//! A [`FleetReport`] is built from whatever survived — the monoid
+//! merge of the included machines' reconstructions, one
+//! [`MachineReport`] per machine regardless of its fate, and a
+//! [`FleetCoverage`] ledger extending the PR-3 invariant to the
+//! fleet: `covered + dark + lost == fleet timeline`, *exactly*, where
+//! a Lost machine is assessed at the policy's observation window and
+//! a Quarantined machine's whole known timeline counts as lost.  The
+//! report text ([`FleetReport::describe`]) is byte-deterministic:
+//! same seeds and chaos plan ⇒ same bytes, independent of arrival
+//! order or aggregator worker count.
+
+use hwprof::Error;
+use hwprof_analysis::Reconstruction;
+use hwprof_profiler::{Coverage, FleetHealthReport};
+use hwprof_telemetry::Snapshot;
+
+use crate::frame::MachineId;
+use crate::health::MachineHealth;
+
+/// The fleet-wide coverage ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCoverage {
+    /// Machines in the fleet (all of them, whatever their fate).
+    pub machines: u32,
+    /// Sum of per-machine timelines, with Lost machines assessed at
+    /// the policy's observation window.
+    pub timeline_us: u64,
+    /// Time the fleet's boards were armed and storing.
+    pub covered_us: u64,
+    /// Dark windows on machines whose data was included or inspected.
+    pub dark_us: u64,
+    /// Time written off: Lost machines' windows plus Quarantined
+    /// machines' whole timelines.
+    pub lost_us: u64,
+}
+
+impl FleetCoverage {
+    /// The fleet ledger invariant, exact or not at all.
+    pub fn is_exact(&self) -> bool {
+        self.covered_us + self.dark_us + self.lost_us == self.timeline_us
+    }
+
+    /// Covered fraction of the fleet timeline.
+    pub fn fraction(&self) -> f64 {
+        if self.timeline_us == 0 {
+            return 1.0;
+        }
+        self.covered_us as f64 / self.timeline_us as f64
+    }
+
+    /// One deterministic ledger line.
+    pub fn describe(&self) -> String {
+        format!(
+            "ledger: covered {} us + dark {} us + lost {} us == fleet timeline {} us ({})",
+            self.covered_us,
+            self.dark_us,
+            self.lost_us,
+            self.timeline_us,
+            if self.is_exact() { "exact" } else { "BROKEN" }
+        )
+    }
+}
+
+/// Everything the fleet knows about one machine after the run.
+#[derive(Debug)]
+pub struct MachineReport {
+    /// Fleet index.
+    pub id: MachineId,
+    /// Workload name.
+    pub workload: &'static str,
+    /// The machine's seed.
+    pub seed: u64,
+    /// Final health classification.
+    pub health: MachineHealth,
+    /// Why, one line per firing signal (empty for Healthy).
+    pub reasons: Vec<String>,
+    /// The machine's own coverage ledger (`None` for Lost — a dead
+    /// machine's self-reported numbers are not trusted).
+    pub coverage: Option<Coverage>,
+    /// The aggregator-side reconstruction with the machine's ledger
+    /// folded in — present only for included machines, and then bit
+    /// identical to [`MachineReport::local_profile`].
+    pub profile: Option<Reconstruction>,
+    /// The machine's *own* sequential analysis (the oracle).  Present
+    /// whenever a final report arrived, even for Quarantined machines
+    /// (useful for forensics; never merged into the fleet profile).
+    pub local_profile: Option<Reconstruction>,
+    /// Shards the aggregator decoded and folded for this machine.
+    pub shards: u64,
+    /// Shards the aggregator rejected as corrupt.
+    pub corrupt_shards: u64,
+    /// Duplicate shards the aggregator dropped (first copy wins).
+    pub dup_shards: u64,
+    /// Shards the machine's uplink let out.
+    pub shards_sent: u64,
+    /// The drain blew the fleet deadline.
+    pub straggled: bool,
+    /// A hedged re-drain was attempted (and, if the machine is not
+    /// Lost, succeeded).
+    pub hedged: bool,
+    /// Errors charged to this machine: [`Error::ShardCorrupt`] per
+    /// rejected shard, the run error for Failed machines.
+    pub errors: Vec<Error>,
+}
+
+/// One cross-machine outlier: a function whose share of a machine's
+/// run time sits ≥ 2σ from the fleet population mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutlier {
+    /// The function.
+    pub function: String,
+    /// The deviating machine.
+    pub machine: MachineId,
+    /// That machine's net-time share of its own run, percent.
+    pub machine_pct: f64,
+    /// Population mean share across included machines, percent.
+    pub fleet_mean_pct: f64,
+    /// How many population standard deviations out it sits.
+    pub sigma: f64,
+}
+
+/// The fleet's merged result plus everything needed to judge it.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Monoid merge of the included machines' reconstructions, in
+    /// machine-id order.
+    pub profile: Reconstruction,
+    /// The exact fleet ledger.
+    pub coverage: FleetCoverage,
+    /// One entry per machine, in id order.
+    pub machines: Vec<MachineReport>,
+    /// Cross-machine variance outliers among included machines.
+    pub outliers: Vec<FleetOutlier>,
+}
+
+impl FleetReport {
+    /// The machines whose data participates in the fleet profile.
+    pub fn included(&self) -> impl Iterator<Item = &MachineReport> {
+        self.machines.iter().filter(|m| m.health.is_included())
+    }
+
+    /// How many machines ended in `health`.
+    pub fn count(&self, health: MachineHealth) -> usize {
+        self.machines.iter().filter(|m| m.health == health).count()
+    }
+
+    /// The fleet-level health roll-up: the 17 metric↔ledger pairings
+    /// checked per machine and in aggregate, from one fleet-wide
+    /// telemetry snapshot.  Lost machines are omitted — the fleet
+    /// does not vouch for a dead machine's self-reported metrics.
+    pub fn health(&self, snapshot: &Snapshot) -> FleetHealthReport {
+        let members = self
+            .machines
+            .iter()
+            .filter_map(|m| m.coverage.map(|cov| (format!("m{}.", m.id), cov)));
+        FleetHealthReport::new(snapshot, members)
+    }
+
+    /// The full deterministic report text.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet report — {} machines: {} healthy, {} degraded, {} quarantined, {} lost",
+            self.coverage.machines,
+            self.count(MachineHealth::Healthy),
+            self.count(MachineHealth::Degraded),
+            self.count(MachineHealth::Quarantined),
+            self.count(MachineHealth::Lost),
+        );
+        let _ = writeln!(out, "{}", self.coverage.describe());
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<14} {:<12} {:>6} {:>6} {:>9}  notes",
+            "id", "workload", "health", "shards", "sent", "coverage"
+        );
+        for m in &self.machines {
+            let coverage = match &m.coverage {
+                Some(c) => format!("{:.2}%", c.fraction() * 100.0),
+                None => "-".to_string(),
+            };
+            let mut notes = m.reasons.join("; ");
+            if m.hedged {
+                notes.push_str(if notes.is_empty() {
+                    "hedged"
+                } else {
+                    "; hedged"
+                });
+            }
+            let _ = writeln!(
+                out,
+                "  m{:<3} {:<14} {:<12} {:>6} {:>6} {:>9}  {}",
+                m.id, m.workload, m.health, m.shards, m.shards_sent, coverage, notes
+            );
+        }
+        let _ = writeln!(out, "top fleet functions (net us):");
+        let mut order: Vec<usize> = (0..self.profile.stats.len())
+            .filter(|&s| self.profile.stats[s].net > 0 || self.profile.stats[s].calls > 0)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.profile.stats[b]
+                .net
+                .cmp(&self.profile.stats[a].net)
+                .then(a.cmp(&b))
+        });
+        let run_time = self.profile.run_time().max(1);
+        for &s in order.iter().take(8) {
+            let agg = &self.profile.stats[s];
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} calls {:>10} us {:>6.2}%",
+                self.profile.syms.name(s as u32),
+                agg.calls,
+                agg.net,
+                agg.net as f64 * 100.0 / run_time as f64
+            );
+        }
+        if self.outliers.is_empty() {
+            let _ = writeln!(out, "outliers: none");
+        } else {
+            let _ = writeln!(out, "outliers (>= 2 sigma from fleet mean):");
+            for o in &self.outliers {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} m{:<3} {:>6.2}% vs fleet mean {:>6.2}% ({:.1} sigma)",
+                    o.function, o.machine, o.machine_pct, o.fleet_mean_pct, o.sigma
+                );
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// Finds cross-machine variance outliers among the included
+/// machines: for every function with fleet activity, each machine's
+/// net-time share of its own run is compared against the population
+/// mean; shares ≥ 2σ *and* ≥ 0.5 percentage points out are flagged.
+/// Needs at least three machines for the variance to mean anything.
+pub(crate) fn find_outliers(members: &[(MachineId, &Reconstruction)]) -> Vec<FleetOutlier> {
+    if members.len() < 3 {
+        return Vec::new();
+    }
+    let syms = &members[0].1.syms;
+    let mut out = Vec::new();
+    for s in 0..syms.len() {
+        if !members.iter().any(|(_, r)| r.stats[s].calls > 0) {
+            continue;
+        }
+        let shares: Vec<f64> = members
+            .iter()
+            .map(|(_, r)| r.stats[s].net as f64 * 100.0 / r.run_time().max(1) as f64)
+            .collect();
+        let n = shares.len() as f64;
+        let mean = shares.iter().sum::<f64>() / n;
+        let var = shares.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        if sd <= 1e-9 {
+            continue;
+        }
+        for (&(machine, _), &share) in members.iter().zip(&shares) {
+            let dev = (share - mean).abs();
+            if dev >= 2.0 * sd && dev >= 0.5 {
+                out.push(FleetOutlier {
+                    function: syms.name(s as u32).to_string(),
+                    machine,
+                    machine_pct: share,
+                    fleet_mean_pct: mean,
+                    sigma: dev / sd,
+                });
+            }
+        }
+    }
+    out
+}

@@ -250,6 +250,115 @@ impl std::fmt::Display for HealthReport {
     }
 }
 
+/// The fleet-level roll-up of [`HealthReport`]: the 17 metric↔ledger
+/// pairings checked once per machine *and* once in aggregate.
+///
+/// A fleet registry keeps every machine's metrics under its own
+/// prefix (`m0.`, `m1.`, …); each member report is built from the
+/// fleet snapshot's [`strip_prefix`](Snapshot::strip_prefix) slice
+/// joined with that machine's ledger, and the aggregate report joins
+/// the element-wise [`Snapshot::aggregate`] of those slices with the
+/// merged ledgers.  Both levels must agree exactly: summing N
+/// per-machine accountings that each balance cannot unbalance, so a
+/// fleet-level discrepancy pinpoints cross-machine bookkeeping bugs
+/// (a shard counted twice, a lost machine's metrics leaking into the
+/// total) that every per-machine check would miss.
+#[derive(Debug, Clone)]
+pub struct FleetHealthReport {
+    members: Vec<(String, HealthReport)>,
+    aggregate: HealthReport,
+}
+
+impl FleetHealthReport {
+    /// Builds the roll-up from one fleet-wide snapshot and each
+    /// member's `(prefix, ledger)` pair — the same prefix the
+    /// machine's registry view wrote under (e.g. `"m3."`).
+    pub fn new(snapshot: &Snapshot, members: impl IntoIterator<Item = (String, Coverage)>) -> Self {
+        let members: Vec<(String, HealthReport)> = members
+            .into_iter()
+            .map(|(prefix, cov)| {
+                let slice = snapshot.strip_prefix(&prefix);
+                (prefix, HealthReport::new(slice, cov))
+            })
+            .collect();
+        let mut merged = Coverage::empty();
+        for (_, report) in &members {
+            merged.merge(report.coverage());
+        }
+        let slices: Vec<&Snapshot> = members.iter().map(|(_, r)| r.snapshot()).collect();
+        let aggregate = HealthReport::new(Snapshot::aggregate(slices.iter().copied()), merged);
+        FleetHealthReport { members, aggregate }
+    }
+
+    /// The per-machine reports, in the order the members were given.
+    pub fn members(&self) -> &[(String, HealthReport)] {
+        &self.members
+    }
+
+    /// The fleet-aggregate report (summed metrics vs merged ledger).
+    pub fn aggregate(&self) -> &HealthReport {
+        &self.aggregate
+    }
+
+    /// Every disagreement at either level, each line tagged with the
+    /// member prefix (or `fleet:` for the aggregate).  Empty is the
+    /// proof that all N machines and their sum balance exactly.
+    pub fn discrepancies(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (prefix, report) in &self.members {
+            out.extend(
+                report
+                    .discrepancies()
+                    .into_iter()
+                    .map(|line| format!("{prefix}: {line}")),
+            );
+        }
+        out.extend(
+            self.aggregate
+                .discrepancies()
+                .into_iter()
+                .map(|line| format!("fleet: {line}")),
+        );
+        out
+    }
+
+    /// True when every member and the aggregate agree exactly.
+    pub fn is_consistent(&self) -> bool {
+        self.discrepancies().is_empty()
+    }
+
+    /// One summary line per machine, then the aggregate's full table.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet health — {} machines", self.members.len());
+        for (prefix, report) in &self.members {
+            let c = report.coverage();
+            let _ = writeln!(
+                out,
+                "  {:<6} timeline {:>10} us, covered {:>6.2}%, {}",
+                prefix,
+                c.timeline_us,
+                c.fraction() * 100.0,
+                if report.is_consistent() {
+                    "consistent"
+                } else {
+                    "INCONSISTENT"
+                }
+            );
+        }
+        let _ = writeln!(out, "aggregate:");
+        out.push_str(&self.aggregate.describe());
+        out
+    }
+}
+
+impl std::fmt::Display for FleetHealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +447,49 @@ mod tests {
         assert!(!report.is_consistent());
         let text = report.describe();
         assert!(text.contains("MISMATCH"), "{text}");
+    }
+
+    #[test]
+    fn fleet_rollup_checks_members_and_aggregate() {
+        let reg = Registry::new();
+        let cov0 = run_supervised(0, &reg.prefixed("m0."));
+        let cov1 = run_supervised(300_000, &reg.prefixed("m1."));
+        let snap = reg.snapshot();
+        let fleet = FleetHealthReport::new(
+            &snap,
+            [("m0.".to_string(), cov0), ("m1.".to_string(), cov1)],
+        );
+        assert!(
+            fleet.is_consistent(),
+            "discrepancies: {:?}",
+            fleet.discrepancies()
+        );
+        assert_eq!(fleet.members().len(), 2);
+        // The aggregate ledger is the merge of the members'.
+        assert_eq!(
+            fleet.aggregate().coverage().timeline_us,
+            cov0.timeline_us + cov1.timeline_us
+        );
+        let text = fleet.describe();
+        assert!(text.contains("fleet health — 2 machines"), "{text}");
+        assert!(text.contains("aggregate:"), "{text}");
+    }
+
+    #[test]
+    fn fleet_rollup_pinpoints_the_bad_member() {
+        let reg = Registry::new();
+        let cov0 = run_supervised(0, &reg.prefixed("m0."));
+        let mut cov1 = run_supervised(0, &reg.prefixed("m1."));
+        cov1.gap_us += 1; // unbalances m1 and the aggregate
+        let fleet = FleetHealthReport::new(
+            &reg.snapshot(),
+            [("m0.".to_string(), cov0), ("m1.".to_string(), cov1)],
+        );
+        let issues = fleet.discrepancies();
+        assert!(!issues.is_empty());
+        assert!(issues.iter().any(|l| l.starts_with("m1.:")), "{issues:?}");
+        assert!(issues.iter().any(|l| l.starts_with("fleet:")), "{issues:?}");
+        assert!(!issues.iter().any(|l| l.starts_with("m0.:")), "{issues:?}");
     }
 
     #[test]

@@ -172,9 +172,18 @@ impl Slot {
 
 /// Handle factory and snapshot point.  Cloning shares the underlying
 /// store; the mutex guards only the name table, never the atomics.
+///
+/// A registry may carry a *prefix* ([`Registry::prefixed`]): every
+/// metric name registered through it is stored under
+/// `{prefix}{name}`, while the underlying table stays shared.  That is
+/// how a fleet gives each machine its own `m{i}.` namespace — N
+/// machines' supervisors all write `sup.gaps`, the shared table keeps
+/// `m0.sup.gaps` … `mN.sup.gaps`, and one [`Registry::snapshot`] of
+/// the fleet serves them all without collisions.
 #[derive(Clone, Default)]
 pub struct Registry {
     slots: Arc<Mutex<BTreeMap<String, Slot>>>,
+    prefix: String,
 }
 
 impl std::fmt::Debug for Registry {
@@ -182,6 +191,7 @@ impl std::fmt::Debug for Registry {
         let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         f.debug_struct("Registry")
             .field("metrics", &slots.len())
+            .field("prefix", &self.prefix)
             .finish()
     }
 }
@@ -191,6 +201,27 @@ impl Registry {
         Self::default()
     }
 
+    /// A view of the same registry that stores every metric under
+    /// `{prefix}{name}`.  The slot table stays shared — a snapshot
+    /// taken from any view sees all views' metrics — and prefixes
+    /// compose: `reg.prefixed("fleet.").prefixed("m0.")` writes under
+    /// `fleet.m0.`.
+    pub fn prefixed(&self, prefix: &str) -> Registry {
+        Registry {
+            slots: Arc::clone(&self.slots),
+            prefix: format!("{}{}", self.prefix, prefix),
+        }
+    }
+
+    /// This view's prefix (empty for a bare registry).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn key(&self, name: &str) -> String {
+        format!("{}{}", self.prefix, name)
+    }
+
     /// Counter handle for `name`, creating it on first use.
     ///
     /// # Panics
@@ -198,7 +229,7 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         let mut slots = self.slots.lock().unwrap();
         match slots
-            .entry(name.to_string())
+            .entry(self.key(name))
             .or_insert_with(|| Slot::Counter(Counter::default()))
         {
             Slot::Counter(c) => c.clone(),
@@ -213,7 +244,7 @@ impl Registry {
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut slots = self.slots.lock().unwrap();
         match slots
-            .entry(name.to_string())
+            .entry(self.key(name))
             .or_insert_with(|| Slot::Gauge(Gauge::default()))
         {
             Slot::Gauge(g) => g.clone(),
@@ -228,7 +259,7 @@ impl Registry {
     pub fn histo(&self, name: &str) -> Histo {
         let mut slots = self.slots.lock().unwrap();
         match slots
-            .entry(name.to_string())
+            .entry(self.key(name))
             .or_insert_with(|| Slot::Histo(Histo::default()))
         {
             Slot::Histo(h) => h.clone(),
@@ -319,6 +350,64 @@ impl Snapshot {
 
     pub fn is_empty(&self) -> bool {
         self.metrics.is_empty()
+    }
+
+    /// The metrics under `prefix`, with the prefix stripped: the
+    /// inverse of writing through [`Registry::prefixed`].  A fleet
+    /// snapshot's `m3.` slice comes back looking exactly like a
+    /// single-machine snapshot, so per-machine consumers
+    /// (`HealthReport`) run unchanged.  Relative order — and therefore
+    /// sortedness — is preserved.
+    pub fn strip_prefix(&self, prefix: &str) -> Snapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .filter_map(|(name, value)| {
+                name.strip_prefix(prefix)
+                    .map(|rest| (rest.to_string(), value.clone()))
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+
+    /// Element-wise union of several snapshots: counters and gauges
+    /// sum, histograms add count/sum/buckets element-wise.  Feeding it
+    /// the per-machine [`Snapshot::strip_prefix`] slices of a fleet
+    /// snapshot yields the fleet-aggregate view of the same metric
+    /// names a single machine would report.
+    ///
+    /// # Panics
+    /// If the same name appears with different metric kinds.
+    pub fn aggregate<'a>(parts: impl IntoIterator<Item = &'a Snapshot>) -> Snapshot {
+        let mut merged: BTreeMap<String, MetricValue> = BTreeMap::new();
+        for part in parts {
+            for (name, value) in &part.metrics {
+                match merged.entry(name.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(value.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        match (e.get_mut(), value) {
+                            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                            (MetricValue::Histo(a), MetricValue::Histo(b)) => {
+                                a.count += b.count;
+                                a.sum += b.sum;
+                                for (x, y) in a.buckets.iter_mut().zip(&b.buckets) {
+                                    *x += y;
+                                }
+                            }
+                            (have, _) => {
+                                panic!("metric {name:?} aggregated across kinds (have {have:?})")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Snapshot {
+            metrics: merged.into_iter().collect(),
+        }
     }
 }
 
@@ -419,6 +508,65 @@ mod tests {
         assert_eq!(names, ["a", "b", "c"]);
         assert_eq!(snap.value("a"), Some(2));
         assert_eq!(snap.value("missing"), None);
+    }
+
+    #[test]
+    fn prefixed_views_share_one_table_without_collisions() {
+        let reg = Registry::new();
+        let m0 = reg.prefixed("m0.");
+        let m1 = reg.prefixed("m1.");
+        m0.counter("sup.gaps").add(3);
+        m1.counter("sup.gaps").add(8);
+        m1.histo("gap.us").observe(100);
+        // One snapshot from any view sees every machine's metrics.
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("m0.sup.gaps"), Some(3));
+        assert_eq!(snap.value("m1.sup.gaps"), Some(8));
+        assert_eq!(snap.histo_sum("m1.gap.us"), Some(100));
+        // Prefixes compose.
+        let deep = reg.prefixed("fleet.").prefixed("m0.");
+        assert_eq!(deep.prefix(), "fleet.m0.");
+        deep.counter("x").inc();
+        assert_eq!(reg.snapshot().value("fleet.m0.x"), Some(1));
+    }
+
+    #[test]
+    fn strip_prefix_recovers_single_machine_view() {
+        let reg = Registry::new();
+        reg.prefixed("m0.").counter("a").add(1);
+        reg.prefixed("m1.").counter("a").add(2);
+        reg.prefixed("m1.").gauge("b").set(9);
+        let snap = reg.snapshot();
+        let m1 = snap.strip_prefix("m1.");
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1.value("a"), Some(2));
+        assert_eq!(m1.value("b"), Some(9));
+        // Still sorted, so binary-search lookups keep working.
+        assert!(m1.metrics.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn aggregate_sums_scalars_and_histos_element_wise() {
+        let reg = Registry::new();
+        for (m, n) in [("m0.", 3u64), ("m1.", 5)] {
+            let view = reg.prefixed(m);
+            view.counter("c").add(n);
+            view.gauge("g").set(n);
+            view.histo("h").observe(n);
+        }
+        let snap = reg.snapshot();
+        let parts = [snap.strip_prefix("m0."), snap.strip_prefix("m1.")];
+        let agg = Snapshot::aggregate(parts.iter());
+        assert_eq!(agg.value("c"), Some(8));
+        assert_eq!(agg.value("g"), Some(8));
+        match agg.get("h").unwrap() {
+            MetricValue::Histo(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 8);
+                assert_eq!(h.buckets[bucket_of(3)] + h.buckets[bucket_of(5)], 2);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 
     #[test]
