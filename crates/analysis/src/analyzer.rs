@@ -182,16 +182,23 @@ impl Analyzer {
         &self.syms
     }
 
-    /// An [`Exporter`] over a reconstruction this analyzer produced,
-    /// pre-loaded with the configured span journal (if any).  Chain
-    /// [`Exporter::run`] to place a stitched result on its supervised
-    /// timeline.
-    pub fn export<'r>(&self, r: &'r Reconstruction) -> Exporter<'r> {
-        let e = Exporter::new(r);
+    /// The unified [`Profile`](crate::Profile) view over a
+    /// reconstruction this analyzer produced, pre-loaded with the
+    /// configured span journal (if any).  Chain
+    /// [`Profile::run`](crate::Profile::run) to place a stitched
+    /// result on its supervised timeline.
+    pub fn profile<'r>(&self, r: &'r Reconstruction) -> crate::Profile<'r> {
+        let p = crate::Profile::new(r);
         match &self.journal {
-            Some(log) => e.spans(log),
-            None => e,
+            Some(log) => p.spans(log),
+            None => p,
         }
+    }
+
+    /// Delegating wrapper over [`Analyzer::profile`] for callers that
+    /// want the raw [`Exporter`] builder; prefer `profile()`.
+    pub fn export<'r>(&self, r: &'r Reconstruction) -> Exporter<'r> {
+        self.profile(r).exporter()
     }
 
     /// The base fold every flavour goes through: sessions reconstructed

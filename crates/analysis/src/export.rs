@@ -97,6 +97,20 @@ impl<'a> Exporter<'a> {
 
     // ---- shared walk ---------------------------------------------------
 
+    /// Crate-internal constructor for [`Profile`](crate::Profile), the
+    /// one place outside this module allowed to assemble an exporter:
+    /// every other caller goes through the `Profile` surface.
+    pub(crate) fn assemble(
+        r: &'a Reconstruction,
+        run: Option<&'a SupervisedRun>,
+        spans: Vec<SpanEvent>,
+        name: &str,
+    ) -> Self {
+        let mut ex = Exporter::new(r).name(name).span_events(spans);
+        ex.run = run;
+        ex
+    }
+
     /// Trace items grouped per (session, lane), in deterministic order.
     fn lanes(&self) -> BTreeMap<(usize, u32), Vec<&'a TraceItem>> {
         let mut lanes: BTreeMap<(usize, u32), Vec<&TraceItem>> = BTreeMap::new();
@@ -187,6 +201,7 @@ impl<'a> Exporter<'a> {
                 SpanTrack::Transport,
                 SpanTrack::Analyzer,
                 SpanTrack::Board,
+                SpanTrack::Recorder,
             ] {
                 ev.push(meta_thread(
                     PIPELINE_PID,
@@ -604,7 +619,7 @@ fn cause_label(cause: GapCause) -> &'static str {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -26,9 +26,11 @@ pub mod export;
 pub mod graph;
 pub mod groups;
 pub mod hist;
+pub mod profile;
 #[cfg(test)]
 mod proptests;
 pub mod recon;
+pub mod recorder;
 pub mod report;
 pub mod stitch;
 pub mod stream;
@@ -43,10 +45,12 @@ pub use events::{
     Event, SessionDecoder, SymId, Symbols, TagMap, TimeUnwrapper, TIME_JUMP_THRESHOLD,
 };
 pub use export::{validate_json, Exporter, JsonValue};
+pub use profile::Profile;
 pub use recon::{
     reconstruct_session, reconstruct_session_recovering, FnAgg, Reconstruction, SessionRecon,
 };
-pub use report::summary_report;
+pub use recorder::{DiffRow, FlightRecorder, RecorderLedger, WindowDiff, WindowRollup};
+pub use report::{fmt_us, summary_report};
 pub use stitch::{
     scale_factor, scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,
 };

@@ -1,0 +1,951 @@
+//! The always-on flight recorder: continuous supervised capture folded
+//! into fixed-width time-window rollups, with differential reports.
+//!
+//! A [`FlightRecorder`] subscribes to a `CaptureSupervisor` as its
+//! [`SessionSink`]: every delivered bank session is decoded through the
+//! columnar decoder and split across the fixed windows its events fall
+//! in, every gap is charged to the windows it darkens.  Each window's
+//! rollup is a full [`Reconstruction`] — the monoid again — folded in
+//! session-index order, so a window is bit-identical to a one-shot
+//! analysis of the same span no matter how the spill shelf permuted
+//! delivery (`recorder_props` pins this at 256 cases).
+//!
+//! Windows tile absolute machine time from 0: window `w` covers
+//! `[w·W, (w+1)·W)` for width `W = RecorderConfig::window_us`, clipped
+//! to the recorder's observed timeline.  The ring retains at most
+//! `RecorderConfig::retain` windows; when a new window would exceed the
+//! budget the oldest is evicted and its clipped span charged to the
+//! [`RecorderLedger`], which stays exact at every instant:
+//! `covered + dark + evicted == elapsed`.
+//!
+//! On top of the ring sits the query surface — [`FlightRecorder::window`],
+//! [`FlightRecorder::range`] (merged through the monoid),
+//! [`FlightRecorder::diff`] and [`WindowDiff::movers`] — and the same
+//! [`Profile`](crate::Profile) render surface every other capture path
+//! uses, plus a self-contained byte-deterministic HTML report per
+//! window ([`WindowRollup::html`]) and per diff ([`WindowDiff::html`]).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use hwprof_profiler::{
+    Coverage, Gap, GapCause, RecorderConfig, SessionSink, SupervisedRun, SupervisedSession,
+};
+use hwprof_tagfile::{TagFile, TagKind};
+use hwprof_telemetry::{Counter, Gauge, Registry, SpanLog, SpanName, SpanTrack};
+
+use crate::anomaly::Anomalies;
+use crate::columnar::{ColumnarDecoder, DenseTagTable};
+use crate::events::{Event, Symbols};
+use crate::profile::{html_esc, Profile, HTML_STYLE};
+use crate::recon::{FnAgg, Reconstruction, SessionRecon};
+use crate::report::fmt_us;
+use crate::stitch::{visible_us, MaskVisibility};
+
+/// One session's events landing in one window, rebased to the window.
+struct Frag {
+    session: u64,
+    events: Vec<Event>,
+}
+
+/// One session's covered overlap with one window.
+struct CovSpan {
+    start_us: u64,
+    end_us: u64,
+    level: usize,
+}
+
+/// One gap's overlap with one window.
+struct GapSpan {
+    overflow: bool,
+}
+
+/// One retained window's raw material plus its cached fold.
+#[derive(Default)]
+struct WindowSlot {
+    frags: Vec<Frag>,
+    /// Decode anomalies charged to this window (the window containing
+    /// the session's start), keyed by session index for determinism.
+    anoms: Vec<(u64, Anomalies)>,
+    spans: Vec<CovSpan>,
+    gaps: Vec<GapSpan>,
+    /// Cached fold, tagged with the recorder bounds it was clipped to.
+    cache: Option<(u64, u64, Reconstruction)>,
+}
+
+impl WindowSlot {
+    fn default_slot() -> WindowSlot {
+        WindowSlot {
+            frags: Vec::new(),
+            anoms: Vec::new(),
+            spans: Vec::new(),
+            gaps: Vec::new(),
+            cache: None,
+        }
+    }
+}
+
+struct RecMetrics {
+    sessions: Counter,
+    fragments: Counter,
+    gaps: Counter,
+    windows: Counter,
+    evicted: Counter,
+    evicted_us: Counter,
+    late_sessions: Counter,
+    retained: Gauge,
+}
+
+impl RecMetrics {
+    fn new(reg: &Registry) -> Self {
+        RecMetrics {
+            sessions: reg.counter("rec.sessions"),
+            fragments: reg.counter("rec.fragments"),
+            gaps: reg.counter("rec.gaps"),
+            windows: reg.counter("rec.windows"),
+            evicted: reg.counter("rec.evicted"),
+            evicted_us: reg.counter("rec.evicted_us"),
+            late_sessions: reg.counter("rec.late_sessions"),
+            retained: reg.gauge("rec.retained"),
+        }
+    }
+}
+
+struct RecorderInner {
+    cfg: RecorderConfig,
+    tf: TagFile,
+    syms: Symbols,
+    table: DenseTagTable,
+    /// Absolute index of `windows[0]`; meaningless until `seen`.
+    base_w: u64,
+    windows: VecDeque<WindowSlot>,
+    seen: bool,
+    evicted_windows: u64,
+    late_sessions: u64,
+    sessions: u64,
+    fragments: u64,
+    first_seen: Option<u64>,
+    last_seen: u64,
+    /// Hot tags of the sealed run, for coverage-scaled diffs.
+    hot_tags: Vec<u16>,
+    sealed: bool,
+    metrics: Option<RecMetrics>,
+    journal: Option<SpanLog>,
+}
+
+impl RecorderInner {
+    /// Current clip bounds of the observed timeline.
+    fn bounds(&self) -> Option<(u64, u64)> {
+        self.first_seen.map(|s| (s, self.last_seen.max(s)))
+    }
+
+    /// Absolute boundary below which everything is evicted territory.
+    fn evicted_boundary(&self) -> u64 {
+        self.base_w * self.cfg.window_us
+    }
+
+    /// Materializes window `w` (and any intermediate windows needed to
+    /// keep the ring contiguous), enforcing the retention budget.
+    /// Returns false when `w` is already evicted — a late arrival.
+    fn ensure_window(&mut self, w: u64) -> bool {
+        if !self.seen {
+            self.seen = true;
+            self.base_w = w;
+            self.windows.push_back(WindowSlot::default_slot());
+            if let Some(m) = &self.metrics {
+                m.windows.inc();
+            }
+        } else if w < self.base_w {
+            if self.evicted_windows > 0 {
+                return false;
+            }
+            // Extend the front — only legal while nothing was evicted,
+            // so the evicted region stays one contiguous prefix.
+            while w < self.base_w {
+                self.windows.push_front(WindowSlot::default_slot());
+                self.base_w -= 1;
+                if let Some(m) = &self.metrics {
+                    m.windows.inc();
+                }
+            }
+        } else {
+            while w >= self.base_w + self.windows.len() as u64 {
+                self.windows.push_back(WindowSlot::default_slot());
+                if let Some(m) = &self.metrics {
+                    m.windows.inc();
+                }
+            }
+        }
+        self.trim();
+        if let Some(m) = &self.metrics {
+            m.retained.set(self.windows.len() as u64);
+        }
+        w >= self.base_w
+    }
+
+    /// Evicts oldest-first down to the retention budget, charging each
+    /// evicted window's clipped span to the ledger.
+    fn trim(&mut self) {
+        while self.windows.len() > self.cfg.retain {
+            self.windows.pop_front();
+            let w = self.base_w;
+            self.base_w += 1;
+            self.evicted_windows += 1;
+            let (ws, we) = self.window_span(w);
+            if let Some(m) = &self.metrics {
+                m.evicted.inc();
+                m.evicted_us.add(we - ws);
+            }
+            if let Some(j) = &self.journal {
+                j.instant(SpanTrack::Recorder, SpanName::Evict, we, w, we - ws);
+            }
+        }
+    }
+
+    /// Window `w`'s span clipped to the observed timeline.
+    fn window_span(&self, w: u64) -> (u64, u64) {
+        let wd = self.cfg.window_us;
+        let (start, end) = self.bounds().unwrap_or((0, 0));
+        let ws = (w * wd).max(start).min(end);
+        let we = ((w + 1) * wd).min(end).max(ws);
+        (ws, we)
+    }
+
+    /// Ingests one delivered session: decode, split events and covered
+    /// span across the windows they fall in.
+    fn ingest_session(&mut self, s: &SupervisedSession) {
+        if self.sealed {
+            return;
+        }
+        self.sessions += 1;
+        if let Some(m) = &self.metrics {
+            m.sessions.inc();
+        }
+        let wd = self.cfg.window_us;
+        let mut decoder = ColumnarDecoder::new(&self.table);
+        let mut events = Vec::new();
+        decoder.extend(&s.records, &mut events);
+        let anoms = decoder.anomalies();
+
+        self.note_seen(s.start_us, s.end_us);
+        let last_event_end = events
+            .iter()
+            .map(|e| s.start_us + e.t)
+            .max()
+            .map(|t| t + 1)
+            .unwrap_or(s.end_us);
+        self.note_seen(s.start_us, last_event_end.max(s.end_us));
+
+        // Materialize every window the span or an event touches.
+        let w_lo = s.start_us / wd;
+        let w_hi = (s.end_us.max(last_event_end).max(s.start_us + 1) - 1) / wd;
+        let mut any_retained = false;
+        for w in w_lo..=w_hi {
+            any_retained |= self.ensure_window(w);
+        }
+
+        // Covered span per window.
+        let level = s.level.idx();
+        if s.end_us > s.start_us {
+            for w in (s.start_us / wd)..=((s.end_us - 1) / wd) {
+                if w < self.base_w {
+                    continue;
+                }
+                let ws = (w * wd).max(s.start_us);
+                let we = ((w + 1) * wd).min(s.end_us);
+                let slot = self.slot_mut(w);
+                slot.spans.push(CovSpan {
+                    start_us: ws,
+                    end_us: we,
+                    level,
+                });
+                slot.cache = None;
+            }
+        }
+
+        // Events per window, rebased to the window origin.
+        let mut frags = 0u64;
+        let mut i = 0usize;
+        while i < events.len() {
+            let w = (s.start_us + events[i].t) / wd;
+            let mut j = i;
+            while j < events.len() && (s.start_us + events[j].t) / wd == w {
+                j += 1;
+            }
+            if w >= self.base_w {
+                let rebased: Vec<Event> = events[i..j]
+                    .iter()
+                    .map(|e| Event {
+                        t: s.start_us + e.t - w * wd,
+                        kind: e.kind,
+                    })
+                    .collect();
+                let slot = self.slot_mut(w);
+                slot.frags.push(Frag {
+                    session: s.index,
+                    events: rebased,
+                });
+                slot.cache = None;
+                frags += 1;
+            }
+            i = j;
+        }
+        self.fragments += frags;
+        if let Some(m) = &self.metrics {
+            m.fragments.add(frags);
+        }
+
+        // Decode anomalies are charged to the window holding the
+        // session's start.
+        if !anoms.is_clean() {
+            let w = s.start_us / wd;
+            if w >= self.base_w && self.seen {
+                let slot = self.slot_mut(w);
+                slot.anoms.push((s.index, anoms));
+                slot.cache = None;
+            }
+        }
+
+        if !any_retained {
+            self.late_sessions += 1;
+            if let Some(m) = &self.metrics {
+                m.late_sessions.inc();
+            }
+        }
+    }
+
+    /// Ingests one dark-window gap.
+    fn ingest_gap(&mut self, g: &Gap) {
+        if self.sealed {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.gaps.inc();
+        }
+        self.note_seen(g.start_us, g.end_us);
+        if g.end_us <= g.start_us {
+            return;
+        }
+        let wd = self.cfg.window_us;
+        for w in (g.start_us / wd)..=((g.end_us - 1) / wd) {
+            if !self.ensure_window(w) {
+                continue;
+            }
+            let slot = self.slot_mut(w);
+            slot.gaps.push(GapSpan {
+                overflow: g.cause == GapCause::Overflow,
+            });
+            slot.cache = None;
+        }
+    }
+
+    fn note_seen(&mut self, start: u64, end: u64) {
+        let first = self.first_seen.get_or_insert(start);
+        if start < *first {
+            *first = start;
+        }
+        self.last_seen = self.last_seen.max(end).max(start);
+    }
+
+    fn slot_mut(&mut self, w: u64) -> &mut WindowSlot {
+        let i = (w - self.base_w) as usize;
+        &mut self.windows[i]
+    }
+
+    /// Seals the finished run into the recorder: extends the timeline
+    /// to the run's exact coverage bounds (the trailing idle/dark tail
+    /// never reaches the sink as a session) and stores the hot-tag set
+    /// for coverage-scaled diffs.
+    fn seal(&mut self, run: &SupervisedRun) {
+        if self.sealed {
+            return;
+        }
+        let base = run
+            .sessions
+            .iter()
+            .map(|s| s.start_us)
+            .chain(run.gaps.iter().map(|g| g.start_us))
+            .min();
+        if let Some(base) = base {
+            let end = base + run.coverage.timeline_us;
+            self.note_seen(base, end);
+            if end > 0 {
+                // Materialize the full sealed timeline so the ring
+                // tiles it exactly (the trailing idle/dark tail has no
+                // delivered item of its own).
+                self.ensure_window(base / self.cfg.window_us);
+                let last_w = (end - 1) / self.cfg.window_us;
+                if !self.seen || last_w >= self.base_w {
+                    self.ensure_window(last_w);
+                }
+            }
+        }
+        self.hot_tags = run.hot_tags.clone();
+        self.sealed = true;
+        if let Some(j) = &self.journal {
+            // Journal the retained ring once it is final: one window
+            // span per retained window, at its clipped bounds.
+            for off in 0..self.windows.len() {
+                let w = self.base_w + off as u64;
+                let (ws, we) = self.window_span(w);
+                let frags = self.windows[off].frags.len() as u64;
+                j.begin(SpanTrack::Recorder, SpanName::Window, ws, w, 0);
+                j.end(SpanTrack::Recorder, SpanName::Window, we, w, frags);
+            }
+        }
+    }
+
+    /// Folds (or returns the cached fold of) window `w`.
+    fn fold(&mut self, w: u64) -> Option<Reconstruction> {
+        if !self.seen || w < self.base_w || w >= self.base_w + self.windows.len() as u64 {
+            return None;
+        }
+        let bounds = self.bounds()?;
+        let (ws, we) = self.window_span(w);
+        let idx = (w - self.base_w) as usize;
+        // Disjoint field borrows: the slot mutably, the symbols shared.
+        let RecorderInner { windows, syms, .. } = self;
+        let slot = &mut windows[idx];
+        if let Some((cs, ce, r)) = &slot.cache {
+            if (*cs, *ce) == bounds {
+                return Some(r.clone());
+            }
+        }
+        slot.frags.sort_by_key(|f| f.session);
+        slot.anoms.sort_by_key(|&(s, _)| s);
+        let mut out = Reconstruction::empty(syms.clone());
+        let mut recon = SessionRecon::new(syms, false);
+        for frag in &slot.frags {
+            recon.session_into(&frag.events, &mut out);
+        }
+        for (_, a) in &slot.anoms {
+            out.note(a);
+        }
+        let mut cov = Coverage::empty();
+        cov.timeline_us = we - ws;
+        for span in &slot.spans {
+            let s = span.start_us.max(ws);
+            let e = span.end_us.min(we);
+            if e > s {
+                cov.covered_us += e - s;
+                cov.level_us[span.level] += e - s;
+            }
+        }
+        cov.gap_us = cov.timeline_us - cov.covered_us;
+        cov.gaps = slot.gaps.len() as u64;
+        cov.overflow_gaps = slot.gaps.iter().filter(|g| g.overflow).count() as u64;
+        out.note_coverage(&cov);
+        slot.cache = Some((bounds.0, bounds.1, out.clone()));
+        Some(out)
+    }
+
+    /// The exact eviction ledger at this instant.
+    fn ledger(&mut self) -> RecorderLedger {
+        let Some((start, end)) = self.bounds() else {
+            return RecorderLedger::default();
+        };
+        let evicted_us = if self.evicted_windows > 0 {
+            self.evicted_boundary().min(end) - start
+        } else {
+            0
+        };
+        let mut covered = 0u64;
+        let mut dark = 0u64;
+        for off in 0..self.windows.len() {
+            let w = self.base_w + off as u64;
+            let (ws, we) = self.window_span(w);
+            let slot = &self.windows[off];
+            let c: u64 = slot
+                .spans
+                .iter()
+                .map(|s| s.end_us.min(we).saturating_sub(s.start_us.max(ws)))
+                .sum();
+            covered += c;
+            dark += (we - ws) - c;
+        }
+        RecorderLedger {
+            elapsed_us: end - start,
+            covered_us: covered,
+            dark_us: dark,
+            evicted_us,
+            windows: self.windows.len() as u64,
+            evicted_windows: self.evicted_windows,
+            late_sessions: self.late_sessions,
+        }
+    }
+}
+
+/// The exact time-accounting ledger of the recorder ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderLedger {
+    /// Observed timeline span (first seen µs to last seen µs).
+    pub elapsed_us: u64,
+    /// Armed-and-storing µs still retained in the ring.
+    pub covered_us: u64,
+    /// Dark µs (gaps, idle tails) still retained in the ring.
+    pub dark_us: u64,
+    /// µs written off with evicted windows.
+    pub evicted_us: u64,
+    /// Windows currently retained.
+    pub windows: u64,
+    /// Windows evicted so far.
+    pub evicted_windows: u64,
+    /// Sessions that arrived entirely after their windows were evicted
+    /// (their span is already charged to `evicted_us`).
+    pub late_sessions: u64,
+}
+
+impl RecorderLedger {
+    /// The recorder invariant, exact or not at all.
+    pub fn is_exact(&self) -> bool {
+        self.covered_us + self.dark_us + self.evicted_us == self.elapsed_us
+    }
+
+    /// One deterministic ledger line, in the shared report dialect.
+    pub fn describe(&self) -> String {
+        format!(
+            "recorder ledger: covered {} + dark {} + evicted {} == elapsed {} ({}; {} windows retained, {} evicted)",
+            fmt_us(self.covered_us),
+            fmt_us(self.dark_us),
+            fmt_us(self.evicted_us),
+            fmt_us(self.elapsed_us),
+            if self.is_exact() { "exact" } else { "BROKEN" },
+            self.windows,
+            self.evicted_windows,
+        )
+    }
+}
+
+/// One window's finished rollup: a full [`Reconstruction`] over the
+/// window's clipped span, renderable through [`Profile`] like any
+/// other capture.
+#[derive(Debug, Clone)]
+pub struct WindowRollup {
+    /// Absolute window index (first window of the range, for ranges).
+    pub index: u64,
+    /// Clipped span start, absolute µs.
+    pub start_us: u64,
+    /// Clipped span end, absolute µs.
+    pub end_us: u64,
+    /// The rollup itself.
+    pub recon: Reconstruction,
+    name: String,
+}
+
+impl WindowRollup {
+    /// The unified render surface over this window.
+    pub fn as_profile(&self) -> Profile<'_> {
+        Profile::new(&self.recon).name(&self.name)
+    }
+
+    /// Self-contained byte-deterministic HTML report for this window.
+    pub fn html(&self) -> String {
+        self.as_profile().html()
+    }
+}
+
+/// An exact per-function delta between two windows.
+#[derive(Debug, Clone)]
+pub struct WindowDiff {
+    /// Left window index.
+    pub a: u64,
+    /// Right window index.
+    pub b: u64,
+    /// Left window's clipped span.
+    pub a_span: (u64, u64),
+    /// Right window's clipped span.
+    pub b_span: (u64, u64),
+    /// Per-function rows, ranked by `|d_net|` descending (ties by
+    /// name) — the same order in both diff directions.
+    pub rows: Vec<DiffRow>,
+    /// Total-anomaly delta (`b - a`).
+    pub d_anomalies: i64,
+    /// Movers threshold in ppm of relative rate growth.
+    pub threshold_ppm: u32,
+}
+
+/// One function's exact delta between two windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Function name.
+    pub name: String,
+    /// Aggregate in the left window.
+    pub a: FnAgg,
+    /// Aggregate in the right window.
+    pub b: FnAgg,
+    /// Exact call-count delta (`b - a`).
+    pub d_calls: i64,
+    /// Exact net-time delta, µs.
+    pub d_net: i64,
+    /// Exact gross-time delta, µs.
+    pub d_elapsed: i64,
+    /// Exact inline-hit delta.
+    pub d_inline: i64,
+    /// Coverage-scaled net rate in the left window (net µs per visible
+    /// µs under the function's [`MaskVisibility`] class); `None` when
+    /// the class was never visible there.
+    pub a_rate: Option<f64>,
+    /// Same for the right window.
+    pub b_rate: Option<f64>,
+    /// Relative rate growth in percent (`(b_rate / a_rate - 1) · 100`);
+    /// `None` when either side has no rate or the left rate is zero.
+    pub growth_pct: Option<f64>,
+}
+
+impl DiffRow {
+    /// Whether this row clears a movers threshold (ppm of relative
+    /// rate growth).  A function appearing from a zero left rate is
+    /// always a mover.
+    pub fn exceeds(&self, threshold_ppm: u32) -> bool {
+        match (self.a_rate, self.b_rate) {
+            (Some(ra), Some(rb)) => {
+                if ra == 0.0 {
+                    rb > 0.0
+                } else {
+                    ((rb - ra).abs() / ra) * 1_000_000.0 >= f64::from(threshold_ppm)
+                }
+            }
+            (None, Some(rb)) => rb > 0.0,
+            (Some(ra), None) => ra > 0.0,
+            (None, None) => false,
+        }
+    }
+}
+
+impl WindowDiff {
+    /// The ranked movers: rows clearing the configured threshold, in
+    /// rank order, at most `n`.
+    pub fn movers(&self, n: usize) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.exceeds(self.threshold_ppm))
+            .take(n)
+            .collect()
+    }
+
+    /// Deterministic text report: headline, then one line per mover.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "window diff {} -> {}: {} functions changed, anomalies {:+}",
+            self.a,
+            self.b,
+            self.rows
+                .iter()
+                .filter(|r| r.d_net != 0 || r.d_calls != 0)
+                .count(),
+            self.d_anomalies,
+        );
+        for row in self.movers(usize::MAX) {
+            let growth = match row.growth_pct {
+                Some(g) => format!("grew {g:.2}%"),
+                None if row.a.net == 0 && row.b.net > 0 => "new".to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<14} net {:+8} us  calls {:+6}  {}",
+                row.name, row.d_net, row.d_calls, growth
+            );
+        }
+        out
+    }
+
+    /// Self-contained byte-deterministic HTML report for this diff.
+    pub fn html(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n");
+        let _ = writeln!(
+            out,
+            "<title>hwprof &mdash; window diff {} &rarr; {}</title>",
+            self.a, self.b
+        );
+        out.push_str(HTML_STYLE);
+        out.push_str("</head>\n<body>\n");
+        let _ = writeln!(out, "<h1>window diff {} &rarr; {}</h1>", self.a, self.b);
+        let _ = writeln!(
+            out,
+            "<p>window {}: [{}, {}) &middot; window {}: [{}, {}) &middot; \
+             anomalies {:+} &middot; threshold {} ppm</p>",
+            self.a,
+            self.a_span.0,
+            self.a_span.1,
+            self.b,
+            self.b_span.0,
+            self.b_span.1,
+            self.d_anomalies,
+            self.threshold_ppm,
+        );
+        out.push_str("<table class=\"fns\">\n");
+        out.push_str(
+            "<tr><th>function</th><th>net a</th><th>net b</th><th>&Delta;net</th>\
+             <th>calls a</th><th>calls b</th><th>&Delta;calls</th>\
+             <th>&Delta;elapsed</th><th>growth</th><th>mover</th></tr>\n",
+        );
+        for row in &self.rows {
+            let growth = match row.growth_pct {
+                Some(g) => format!("{g:+.2}%"),
+                None if row.a.net == 0 && row.b.net > 0 => "new".to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "<tr><td class=\"fn\">{}</td><td>{}</td><td>{}</td><td>{:+}</td>\
+                 <td>{}</td><td>{}</td><td>{:+}</td><td>{:+}</td><td>{}</td><td>{}</td></tr>",
+                html_esc(&row.name),
+                row.a.net,
+                row.b.net,
+                row.d_net,
+                row.a.calls,
+                row.b.calls,
+                row.d_calls,
+                row.d_elapsed,
+                growth,
+                if row.exceeds(self.threshold_ppm) {
+                    "yes"
+                } else {
+                    ""
+                },
+            );
+        }
+        out.push_str("</table>\n</body>\n</html>\n");
+        out
+    }
+}
+
+/// The always-on flight recorder.  Clones share state, like every
+/// other handle in this workspace: the supervisor holds one clone as
+/// its sink, the harness queries another live.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let ledger = inner.ledger();
+        f.debug_struct("FlightRecorder")
+            .field("windows", &ledger.windows)
+            .field("evicted", &ledger.evicted_windows)
+            .field("elapsed_us", &ledger.elapsed_us)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder folding captures of `tf`'s tag namespace into
+    /// `cfg`-shaped windows.
+    pub fn new(tf: &TagFile, cfg: RecorderConfig) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                cfg,
+                tf: tf.clone(),
+                syms: Symbols::from_tagfile(tf),
+                table: DenseTagTable::from_tagfile(tf),
+                base_w: 0,
+                windows: VecDeque::new(),
+                seen: false,
+                evicted_windows: 0,
+                late_sessions: 0,
+                sessions: 0,
+                fragments: 0,
+                first_seen: None,
+                last_seen: 0,
+                hot_tags: Vec::new(),
+                sealed: false,
+                metrics: None,
+                journal: None,
+            })),
+        }
+    }
+
+    /// Enables live self-metrics under `rec.` in `reg`.
+    pub fn set_telemetry(&self, reg: &Registry) {
+        self.inner.lock().expect("recorder lock").metrics = Some(RecMetrics::new(reg));
+    }
+
+    /// Attaches a span journal: window spans land on the `recorder`
+    /// lane at seal, evictions as instants when they happen.
+    pub fn set_span_log(&self, log: &SpanLog) {
+        self.inner.lock().expect("recorder lock").journal = Some(log.clone());
+    }
+
+    /// The recorder's config.
+    pub fn config(&self) -> RecorderConfig {
+        self.inner.lock().expect("recorder lock").cfg
+    }
+
+    /// Feeds one delivered session (the [`SessionSink`] path calls
+    /// this; exposed for harnesses that drive the recorder directly).
+    pub fn ingest_session(&self, s: &SupervisedSession) {
+        self.inner.lock().expect("recorder lock").ingest_session(s);
+    }
+
+    /// Feeds one gap (see [`FlightRecorder::ingest_session`]).
+    pub fn ingest_gap(&self, g: &Gap) {
+        self.inner.lock().expect("recorder lock").ingest_gap(g);
+    }
+
+    /// Seals the finished run: reconciles the timeline with the run's
+    /// exact coverage bounds and stores its hot tags for scaled diffs.
+    /// Further ingest is ignored.
+    pub fn seal(&self, run: &SupervisedRun) {
+        self.inner.lock().expect("recorder lock").seal(run);
+    }
+
+    /// Absolute indices of the retained windows, oldest to newest.
+    pub fn retained(&self) -> std::ops::Range<u64> {
+        let inner = self.inner.lock().expect("recorder lock");
+        if !inner.seen {
+            return 0..0;
+        }
+        inner.base_w..inner.base_w + inner.windows.len() as u64
+    }
+
+    /// The exact eviction ledger at this instant.
+    pub fn ledger(&self) -> RecorderLedger {
+        self.inner.lock().expect("recorder lock").ledger()
+    }
+
+    /// Window `w`'s rollup; `None` when `w` was evicted or never
+    /// materialized.
+    pub fn window(&self, w: u64) -> Option<WindowRollup> {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let recon = inner.fold(w)?;
+        let (start_us, end_us) = inner.window_span(w);
+        Some(WindowRollup {
+            index: w,
+            start_us,
+            end_us,
+            recon,
+            name: format!("window {w}"),
+        })
+    }
+
+    /// The monoid merge of windows `range` (half-open, absolute
+    /// indices); `None` when the range is empty or any window is
+    /// outside the retained ring.
+    pub fn range(&self, range: std::ops::Range<u64>) -> Option<WindowRollup> {
+        if range.is_empty() {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut out = inner.fold(range.start)?;
+        for w in range.start + 1..range.end {
+            out.merge(inner.fold(w)?);
+        }
+        let (start_us, _) = inner.window_span(range.start);
+        let (_, end_us) = inner.window_span(range.end - 1);
+        Some(WindowRollup {
+            index: range.start,
+            start_us,
+            end_us,
+            recon: out,
+            name: format!("windows {}..{}", range.start, range.end),
+        })
+    }
+
+    /// The exact per-function delta between windows `a` and `b`,
+    /// ranked by `|d_net|`; `None` when either window is unavailable.
+    pub fn diff(&self, a: u64, b: u64) -> Option<WindowDiff> {
+        let ra = self.window(a)?;
+        let rb = self.window(b)?;
+        let inner = self.inner.lock().expect("recorder lock");
+        let threshold_ppm = inner.cfg.diff_threshold_ppm;
+        let mut rows = Vec::new();
+        let syms = &ra.recon.syms;
+        for s in 0..ra.recon.stats.len() {
+            let fa = ra.recon.stats[s];
+            let fb = rb.recon.stats[s];
+            let active = |f: &FnAgg| f.calls > 0 || f.net > 0 || f.inline_hits > 0;
+            if !active(&fa) && !active(&fb) {
+                continue;
+            }
+            let name = syms.name(s as u32).to_string();
+            let vis = mask_visibility(&inner.tf, &inner.hot_tags, &name);
+            let rate = |f: &FnAgg, r: &Reconstruction| -> Option<f64> {
+                let vis_us = visible_us(&r.coverage, vis);
+                if vis_us == 0 {
+                    None
+                } else {
+                    Some(f.net as f64 / vis_us as f64)
+                }
+            };
+            let a_rate = rate(&fa, &ra.recon);
+            let b_rate = rate(&fb, &rb.recon);
+            let growth_pct = match (a_rate, b_rate) {
+                (Some(x), Some(y)) if x > 0.0 => Some((y / x - 1.0) * 100.0),
+                _ => None,
+            };
+            rows.push(DiffRow {
+                name,
+                a: fa,
+                b: fb,
+                d_calls: fb.calls as i64 - fa.calls as i64,
+                d_net: fb.net as i64 - fa.net as i64,
+                d_elapsed: fb.elapsed as i64 - fa.elapsed as i64,
+                d_inline: fb.inline_hits as i64 - fa.inline_hits as i64,
+                a_rate,
+                b_rate,
+                growth_pct,
+            });
+        }
+        rows.sort_by(|x, y| {
+            y.d_net
+                .abs()
+                .cmp(&x.d_net.abs())
+                .then_with(|| x.name.cmp(&y.name))
+        });
+        Some(WindowDiff {
+            a,
+            b,
+            a_span: (ra.start_us, ra.end_us),
+            b_span: (rb.start_us, rb.end_us),
+            rows,
+            d_anomalies: rb.recon.anomalies.total() as i64 - ra.recon.anomalies.total() as i64,
+            threshold_ppm,
+        })
+    }
+
+    /// The top-`n` movers between `a` and `b` (owned, for callers that
+    /// do not need the full diff).
+    pub fn movers(&self, a: u64, b: u64, n: usize) -> Vec<DiffRow> {
+        self.diff(a, b)
+            .map(|d| d.movers(n).into_iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Sessions ingested.
+    pub fn sessions(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").sessions
+    }
+}
+
+impl SessionSink for FlightRecorder {
+    fn session(&mut self, session: &SupervisedSession) {
+        self.ingest_session(session);
+    }
+
+    fn gap(&mut self, gap: &Gap) {
+        self.ingest_gap(gap);
+    }
+}
+
+/// [`MaskVisibility`] of `name`, from a sealed hot-tag set instead of
+/// a full `SupervisedRun` (same classification as `stitch::visibility`).
+fn mask_visibility(tf: &TagFile, hot_tags: &[u16], name: &str) -> MaskVisibility {
+    let Some(entry) = tf.entry_of(name) else {
+        return MaskVisibility::UnlessSwitchOnly;
+    };
+    if entry.kind == TagKind::ContextSwitch {
+        return MaskVisibility::AllLevels;
+    }
+    if hot_tags.binary_search(&entry.tag).is_ok() {
+        return MaskVisibility::AllOnly;
+    }
+    MaskVisibility::UnlessSwitchOnly
+}

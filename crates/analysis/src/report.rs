@@ -3,8 +3,16 @@
 use crate::events::SymId;
 use crate::recon::Reconstruction;
 
-fn sec_us(t: u64) -> String {
-    format!("{} sec {} us", t / 1_000_000, t % 1_000_000)
+/// The one microsecond-total formatting convention every report path
+/// shares: plain `"<n> us"` below a second, `"<s> sec <r> us"` from a
+/// second up.  `summary_report` and the fleet report both route totals
+/// through here, so golden files encode a single dialect.
+pub fn fmt_us(t: u64) -> String {
+    if t < 1_000_000 {
+        format!("{t} us")
+    } else {
+        format!("{} sec {} us", t / 1_000_000, t % 1_000_000)
+    }
 }
 
 /// Renders the per-function summary "sorted by highest to lowest net CPU
@@ -25,17 +33,17 @@ pub fn summary_report(r: &Reconstruction, top: Option<usize>) -> String {
     };
     out.push_str(&format!(
         "Elapsed time = {} ({} tags)\n",
-        sec_us(total),
+        fmt_us(total),
         r.tags
     ));
     out.push_str(&format!(
         "Accumulated run time = {} ({:.2}%)\n",
-        sec_us(run),
+        fmt_us(run),
         pct(run, total)
     ));
     out.push_str(&format!(
         "Idle time = {} ({:5.2}%)\n",
-        sec_us(r.idle),
+        fmt_us(r.idle),
         pct(r.idle, total)
     ));
     out.push_str("------------------------------------------------------------------------\n");
@@ -125,7 +133,7 @@ mod tests {
         let (syms, ev) = decode(&recs, &tf);
         let r = analyze(&syms, &ev);
         let rep = super::summary_report(&r, None);
-        assert!(rep.contains("Elapsed time = 0 sec 920 us (4 tags)"));
+        assert!(rep.contains("Elapsed time = 920 us (4 tags)"));
         assert!(rep.contains("% real"));
         let hot_pos = rep.find("hot").unwrap();
         let cold_pos = rep.find("cold").unwrap();

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use hwprof_analysis::{
-    reconstruct_session, validate_json, Analyzer, Exporter, JsonValue, Reconstruction,
+    reconstruct_session, validate_json, Analyzer, JsonValue, Profile, Reconstruction,
     SessionDecoder, Symbols, TagMap,
 };
 use hwprof_machine::EpromTap;
@@ -200,8 +200,8 @@ proptest! {
         let (tf, run) =
             drive_supervised(nfns, &ops, pol, capacity, fail_ppm, seed, Some(&log));
         let r = Analyzer::for_tagfile(&tf).run(&run).expect("ungated");
-        let exporter = Exporter::new(&r).run(&run).spans(&log);
-        let chrome = exporter.chrome_trace();
+        let profile = Profile::new(&r).run(&run).spans(&log);
+        let chrome = profile.chrome_trace();
         let parsed = validate_json(&chrome);
         prop_assert!(parsed.is_ok(), "chrome trace is not valid JSON: {:?}", parsed.err());
         let parsed = parsed.expect("checked");
@@ -212,7 +212,7 @@ proptest! {
         prop_assert!(!events.is_empty(), "empty traceEvents");
         assert_balanced(events)?;
         prop_assert!(
-            validate_json(&exporter.speedscope()).is_ok(),
+            validate_json(&profile.speedscope()).is_ok(),
             "speedscope export is not valid JSON"
         );
     }
@@ -235,8 +235,8 @@ proptest! {
         let (tf, run) = drive_supervised(nfns, &ops, pol, capacity, fail_ppm, seed, None);
         let r = Analyzer::for_tagfile(&tf).run(&run).expect("ungated");
         let net: u64 = r.stats.iter().map(|a| a.net).sum();
-        prop_assert_eq!(folded_total(&Exporter::new(&r).folded()), net);
-        prop_assert_eq!(folded_total(&Exporter::new(&r).run(&run).folded()), net);
+        prop_assert_eq!(folded_total(&Profile::new(&r).folded()), net);
+        prop_assert_eq!(folded_total(&Profile::new(&r).run(&run).folded()), net);
     }
 
     /// On gap-free schedules (a board that never fills) the supervised
@@ -262,8 +262,8 @@ proptest! {
         // Compare WITHOUT `.run()` attachment: the supervised timeline
         // re-basing is presentation, not data, and the plain side has
         // no run to attach.
-        let a = Exporter::new(&stitched).name("gap-free");
-        let b = Exporter::new(&plain).name("gap-free");
+        let a = Profile::new(&stitched).name("gap-free");
+        let b = Profile::new(&plain).name("gap-free");
         prop_assert_eq!(a.chrome_trace(), b.chrome_trace());
         prop_assert_eq!(a.speedscope(), b.speedscope());
         prop_assert_eq!(a.folded(), b.folded());

@@ -143,10 +143,10 @@ fn main() {
         cov.overflow_gaps >= 2 && cov.mask_downgrades >= 1,
     );
 
-    let exporter = cap.export().name("supervised network receive");
-    let chrome = exporter.chrome_trace();
-    let speedscope = exporter.speedscope();
-    let folded = exporter.folded();
+    let profile = cap.as_profile().name("supervised network receive");
+    let chrome = profile.chrome_trace();
+    let speedscope = profile.speedscope();
+    let folded = profile.folded();
 
     // Chrome Trace Event JSON: loadable, balanced, and carrying every
     // layer of the unified timeline.
@@ -244,7 +244,11 @@ fn main() {
     let identical = plain.run.sessions == cap.run.sessions
         && plain.run.gaps == cap.run.gaps
         && plain.run.coverage == cap.run.coverage
-        && plain.export().name("supervised network receive").folded() == folded;
+        && plain
+            .as_profile()
+            .name("supervised network receive")
+            .folded()
+            == folded;
     check(
         "journal disabled is bit-identical",
         "identical",
@@ -256,12 +260,12 @@ fn main() {
     check(
         "export is deterministic",
         "byte-stable",
-        if exporter.chrome_trace() == chrome {
+        if profile.chrome_trace() == chrome {
             "byte-stable"
         } else {
             "unstable"
         },
-        exporter.chrome_trace() == chrome,
+        profile.chrome_trace() == chrome,
     );
 
     // Golden: the folded output is pinned byte-for-byte.

@@ -20,7 +20,10 @@
 //!   shared arm/drain/finish lifecycle and normalizes into the same
 //!   [`Reconstruction`].
 
-use hwprof_analysis::{Analyzer, Anomalies, Exporter, Reconstruction, StreamAnalyzer};
+use hwprof_analysis::{
+    Analyzer, Anomalies, Exporter, FlightRecorder, Profile, Reconstruction, RecorderLedger,
+    StreamAnalyzer, WindowDiff, WindowRollup,
+};
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
 use hwprof_kernel386::kernel::{Kernel, KernelConfig};
@@ -31,7 +34,7 @@ use hwprof_machine::{CostModel, EpromTap};
 use hwprof_profiler::{
     parse_raw_lossy, serialize_raw, BoardConfig, CaptureSupervisor, Coverage, FaultInjector,
     FaultSpec, FlakyTransport, HealthReport, InjectedFaults, MemoryTransport, Profiler, RawRecord,
-    SupervisedRun, SupervisorPolicy, TagMask, Transport,
+    RecorderConfig, SupervisedRun, SupervisorPolicy, TagMask, Transport,
 };
 use hwprof_tagfile::{TagFile, TagKind};
 use hwprof_telemetry::{Registry, Snapshot, SpanLog};
@@ -601,6 +604,110 @@ impl Experiment {
             journal: p.journal,
         })
     }
+
+    /// Continuous profiling: a supervised run with an always-on
+    /// [`FlightRecorder`] subscribed to the capture stream, folding
+    /// every delivered bank into fixed-width window rollups as the
+    /// workload runs.  Returns a [`RecorderHandle`] carrying the live
+    /// query surface (`window` / `range` / `diff` / movers) alongside
+    /// the usual full-run reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Experiment::supervised`] reports.
+    pub fn record(
+        self,
+        policy: SupervisorPolicy,
+        cfg: RecorderConfig,
+    ) -> Result<RecorderHandle, Error> {
+        let transport: Box<dyn Transport> = Box::new(FlakyTransport::new(
+            MemoryTransport::new(),
+            policy.transport_fail_ppm,
+            policy.seed,
+        ));
+        self.record_with(policy, transport, cfg)
+    }
+
+    /// [`Experiment::record`] with a caller-supplied [`Transport`].
+    pub fn record_with(
+        mut self,
+        policy: SupervisorPolicy,
+        transport: Box<dyn Transport>,
+        cfg: RecorderConfig,
+    ) -> Result<RecorderHandle, Error> {
+        // The supervisor owns the arm switch; the board starts off.
+        self.armed = false;
+        let mut supervisor: Option<CaptureSupervisor> = None;
+        let sup_slot = &mut supervisor;
+        let mut recorder: Option<FlightRecorder> = None;
+        let rec_slot = &mut recorder;
+        let pol = policy.clone();
+        let telem = self.telemetry.clone();
+        let jour = self.journal.clone();
+        let p = self.prepare_with_tap(move |board, tagfile| {
+            let cswitch = tagfile
+                .entries()
+                .iter()
+                .filter(|e| e.kind == TagKind::ContextSwitch)
+                .map(|e| e.tag);
+            let mut mask = TagMask::new(cswitch);
+            if !pol.hot_functions.is_empty() {
+                mask.set_hot(
+                    pol.hot_functions
+                        .iter()
+                        .filter_map(|name| tagfile.tag_of(name)),
+                );
+            }
+            let sup = CaptureSupervisor::new(board.clone(), mask, pol, transport);
+            let rec = FlightRecorder::new(tagfile, cfg);
+            if let Some(reg) = &telem {
+                sup.set_telemetry(reg);
+                rec.set_telemetry(reg);
+            }
+            if let Some(log) = &jour {
+                sup.set_span_log(log);
+                rec.set_span_log(log);
+            }
+            sup.set_session_sink(Box::new(rec.clone()));
+            *rec_slot = Some(rec);
+            *sup_slot = Some(sup.clone());
+            Box::new(sup)
+        })?;
+        let sup = supervisor.expect("prepare ran the tap closure");
+        let recorder = recorder.expect("prepare ran the tap closure");
+        let kernel = p.sim.run();
+        let run = sup.finish();
+        recorder.seal(&run);
+        let cov = run.coverage;
+        if run.sessions.is_empty() && cov.banks_lost > 0 {
+            return Err(Error::TransportFailed {
+                banks_lost: cov.banks_lost,
+                failures: cov.transport_failures,
+            });
+        }
+        if policy.min_coverage_ppm > 0 && cov.timeline_us > 0 {
+            let achieved_ppm = (cov.covered_us.saturating_mul(1_000_000) / cov.timeline_us) as u32;
+            if achieved_ppm < policy.min_coverage_ppm {
+                return Err(Error::CoverageTooLow {
+                    achieved_ppm,
+                    required_ppm: policy.min_coverage_ppm,
+                });
+            }
+        }
+        let profile = Analyzer::for_tagfile(&p.tagfile)
+            .run(&run)
+            .expect("supervised stitch configures no anomaly budget");
+        Ok(RecorderHandle {
+            recorder,
+            run,
+            profile,
+            tagfile: p.tagfile,
+            link: p.link,
+            kernel,
+            telemetry: p.telemetry,
+            journal: p.journal,
+        })
+    }
 }
 
 /// The trust gate shared by both capture modes: anomalies per million
@@ -722,14 +829,23 @@ pub struct BackendCapture {
 }
 
 impl BackendCapture {
-    /// An [`Exporter`] over the normalized profile, carrying the run's
-    /// span journal when [`Experiment::journal`] was configured.
-    pub fn export(&self) -> Exporter<'_> {
-        let e = Exporter::new(&self.profile);
+    /// The unified [`Profile`] view over the normalized reconstruction,
+    /// carrying the run's span journal when [`Experiment::journal`] was
+    /// configured — the one render/export surface every capture path
+    /// shares.
+    pub fn as_profile(&self) -> Profile<'_> {
+        let p = Profile::new(&self.profile).name(self.backend);
         match &self.journal {
-            Some(log) => e.spans(log),
-            None => e,
+            Some(log) => p.spans(log),
+            None => p,
         }
+    }
+
+    /// Delegating wrapper over [`BackendCapture::as_profile`] for
+    /// callers that want the raw [`Exporter`] builder; prefer
+    /// `as_profile()`.
+    pub fn export(&self) -> Exporter<'_> {
+        self.as_profile().exporter()
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not
@@ -766,16 +882,24 @@ pub struct StreamCapture {
 }
 
 impl StreamCapture {
-    /// An [`Exporter`] over the streamed profile, carrying the run's
-    /// span journal when [`Experiment::journal`] was configured:
-    /// `.chrome_trace()` / `.speedscope()` / `.folded()` render it for
-    /// Perfetto, speedscope and flamegraph tooling.
-    pub fn export(&self) -> Exporter<'_> {
-        let e = Exporter::new(&self.profile);
+    /// The unified [`Profile`] view over the streamed reconstruction,
+    /// carrying the run's span journal when [`Experiment::journal`]
+    /// was configured: `.chrome_trace()` / `.speedscope()` /
+    /// `.folded()` / `.html()` render it for Perfetto, speedscope,
+    /// flamegraph and standalone-report tooling.
+    pub fn as_profile(&self) -> Profile<'_> {
+        let p = Profile::new(&self.profile);
         match &self.journal {
-            Some(log) => e.spans(log),
-            None => e,
+            Some(log) => p.spans(log),
+            None => p,
         }
+    }
+
+    /// Delegating wrapper over [`StreamCapture::as_profile`] for
+    /// callers that want the raw [`Exporter`] builder; prefer
+    /// `as_profile()`.
+    pub fn export(&self) -> Exporter<'_> {
+        self.as_profile().exporter()
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not
@@ -815,18 +939,25 @@ impl SupervisedCapture {
         &self.run.coverage
     }
 
-    /// An [`Exporter`] over the stitched profile, placed on the
-    /// supervised timeline (per-bank lanes, gap slices, mask-change
-    /// markers) and carrying the run's span journal when
+    /// The unified [`Profile`] view over the stitched reconstruction,
+    /// placed on the supervised timeline (per-bank lanes, gap slices,
+    /// mask-change markers) and carrying the run's span journal when
     /// [`Experiment::journal`] was configured: `.chrome_trace()` /
-    /// `.speedscope()` / `.folded()` render the whole capture —
-    /// kernel activity and pipeline — as one trace.
-    pub fn export(&self) -> Exporter<'_> {
-        let e = Exporter::new(&self.profile).run(&self.run);
+    /// `.speedscope()` / `.folded()` / `.html()` render the whole
+    /// capture — kernel activity and pipeline — as one trace.
+    pub fn as_profile(&self) -> Profile<'_> {
+        let p = Profile::new(&self.profile).run(&self.run);
         match &self.journal {
-            Some(log) => e.spans(log),
-            None => e,
+            Some(log) => p.spans(log),
+            None => p,
         }
+    }
+
+    /// Delegating wrapper over [`SupervisedCapture::as_profile`] for
+    /// callers that want the raw [`Exporter`] builder; prefer
+    /// `as_profile()`.
+    pub fn export(&self) -> Exporter<'_> {
+        self.as_profile().exporter()
     }
 
     /// A point-in-time snapshot of the run's telemetry registry, when
@@ -843,6 +974,105 @@ impl SupervisedCapture {
     pub fn health(&self) -> Option<HealthReport> {
         self.metrics()
             .map(|snap| HealthReport::new(snap, self.run.coverage))
+    }
+
+    /// Fraction of wall time the CPU was busy (from the scheduler, not
+    /// the capture).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.kernel.machine.now.max(1);
+        1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
+    }
+}
+
+/// What [`Experiment::record`] produced: the live flight-recorder
+/// query surface over the retained window ring, plus everything a
+/// supervised capture carries (the run, the full-run stitched
+/// reconstruction, kernel ground truth).
+pub struct RecorderHandle {
+    /// The sealed flight recorder (cloneable; queries are live).
+    recorder: FlightRecorder,
+    /// The supervised run itself: delivered sessions, explicit gaps,
+    /// final ladder level and the full [`Coverage`] ledger.
+    pub run: SupervisedRun,
+    /// The full-run gap-aware stitched reconstruction — the one-shot
+    /// analysis the window rollups tile.
+    pub profile: Reconstruction,
+    /// The name/tag file of this build.
+    pub tagfile: TagFile,
+    /// The resolved two-stage link.
+    pub link: LinkResult,
+    /// Final kernel state (ground truth, statistics).
+    pub kernel: Kernel,
+    /// The registry the run published into, when
+    /// [`Experiment::telemetry`] was configured.
+    telemetry: Option<Registry>,
+    /// The span journal the run recorded into, when
+    /// [`Experiment::journal`] was configured.
+    journal: Option<SpanLog>,
+}
+
+impl RecorderHandle {
+    /// The recorder itself, for callers that want to keep (or clone)
+    /// the query surface directly.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Window `w`'s rollup (see [`FlightRecorder::window`]).
+    pub fn window(&self, w: u64) -> Option<WindowRollup> {
+        self.recorder.window(w)
+    }
+
+    /// The monoid merge of a window range (see
+    /// [`FlightRecorder::range`]).
+    pub fn range(&self, range: std::ops::Range<u64>) -> Option<WindowRollup> {
+        self.recorder.range(range)
+    }
+
+    /// The exact per-function delta between two windows (see
+    /// [`FlightRecorder::diff`]).
+    pub fn diff(&self, a: u64, b: u64) -> Option<WindowDiff> {
+        self.recorder.diff(a, b)
+    }
+
+    /// Absolute indices of the retained windows, oldest to newest.
+    pub fn retained(&self) -> std::ops::Range<u64> {
+        self.recorder.retained()
+    }
+
+    /// The recorder's exact `covered + dark + evicted == elapsed`
+    /// ledger.
+    pub fn ledger(&self) -> RecorderLedger {
+        self.recorder.ledger()
+    }
+
+    /// The run's coverage ledger.
+    pub fn coverage(&self) -> &Coverage {
+        &self.run.coverage
+    }
+
+    /// The unified [`Profile`] view over the *full-run* reconstruction
+    /// on the supervised timeline; individual windows render through
+    /// [`WindowRollup::as_profile`].
+    pub fn as_profile(&self) -> Profile<'_> {
+        let p = Profile::new(&self.profile).run(&self.run);
+        match &self.journal {
+            Some(log) => p.spans(log),
+            None => p,
+        }
+    }
+
+    /// Delegating wrapper over [`RecorderHandle::as_profile`] for
+    /// callers that want the raw [`Exporter`] builder; prefer
+    /// `as_profile()`.
+    pub fn export(&self) -> Exporter<'_> {
+        self.as_profile().exporter()
+    }
+
+    /// A point-in-time snapshot of the run's telemetry registry, when
+    /// [`Experiment::telemetry`] was configured.
+    pub fn metrics(&self) -> Option<Snapshot> {
+        self.telemetry.as_ref().map(Registry::snapshot)
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not

@@ -51,14 +51,18 @@ pub use backend::{
 pub use comparison::{BackendComparison, BackendRow};
 pub use error::Error;
 pub use experiment::{
-    build_tagfile, BackendCapture, Capture, Experiment, Scenario, ScenarioBuilder, StreamCapture,
-    SupervisedCapture,
+    build_tagfile, BackendCapture, Capture, Experiment, RecorderHandle, Scenario, ScenarioBuilder,
+    StreamCapture, SupervisedCapture,
 };
-pub use hwprof_analysis::{validate_json, Analyzer, AnalyzerError, Anomalies, Exporter, JsonValue};
+pub use hwprof_analysis::{
+    validate_json, Analyzer, AnalyzerError, Anomalies, Exporter, FlightRecorder, JsonValue,
+    Profile, RecorderLedger, WindowDiff, WindowRollup,
+};
 pub use hwprof_baseline::{CounterModel, SampleProfile};
 pub use hwprof_profiler::{
     Coverage, FaultInjector, FaultSpec, FlakyTransport, HealthReport, InjectedFaults,
-    MemoryTransport, RetryPolicy, SupervisorPolicy, TagMaskLevel, Transport,
+    MemoryTransport, RecorderConfig, RecorderConfigError, RetryPolicy, SupervisorPolicy,
+    TagMaskLevel, Transport,
 };
 pub use hwprof_telemetry::{Registry, SpanEvent, SpanLog, SpanName, SpanPhase, SpanTrack};
 

@@ -12,7 +12,7 @@
 //! order or aggregator worker count.
 
 use hwprof::Error;
-use hwprof_analysis::Reconstruction;
+use hwprof_analysis::{fmt_us, Reconstruction};
 use hwprof_profiler::{Coverage, FleetHealthReport};
 use hwprof_telemetry::Snapshot;
 
@@ -50,14 +50,16 @@ impl FleetCoverage {
         self.covered_us as f64 / self.timeline_us as f64
     }
 
-    /// One deterministic ledger line.
+    /// One deterministic ledger line.  Totals go through the shared
+    /// [`fmt_us`] helper so the fleet and summary reports speak one
+    /// formatting dialect.
     pub fn describe(&self) -> String {
         format!(
-            "ledger: covered {} us + dark {} us + lost {} us == fleet timeline {} us ({})",
-            self.covered_us,
-            self.dark_us,
-            self.lost_us,
-            self.timeline_us,
+            "ledger: covered {} + dark {} + lost {} == fleet timeline {} ({})",
+            fmt_us(self.covered_us),
+            fmt_us(self.dark_us),
+            fmt_us(self.lost_us),
+            fmt_us(self.timeline_us),
             if self.is_exact() { "exact" } else { "BROKEN" }
         )
     }

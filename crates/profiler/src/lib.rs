@@ -24,6 +24,7 @@ mod board;
 mod faults;
 mod health;
 mod record;
+mod recorder;
 mod supervisor;
 mod zif;
 
@@ -31,6 +32,7 @@ pub use board::{BankSink, BoardConfig, BoardHealth, Leds, Profiler};
 pub use faults::{FaultInjector, FaultSpec, FaultySink, InjectedFaults, SPURIOUS_TAG_BASE};
 pub use health::{FleetHealthReport, HealthReport};
 pub use record::{parse_raw, parse_raw_lossy, serialize_raw, RawRecord, RecordError, TIME_MASK};
+pub use recorder::{RecorderConfig, RecorderConfigBuilder, RecorderConfigError, SessionSink};
 pub use supervisor::{
     CaptureSupervisor, Coverage, FlakyTransport, Gap, GapCause, MemoryTransport, RetryPolicy,
     SupervisedRun, SupervisedSession, SupervisorPolicy, TagMask, TagMaskLevel, Transport,

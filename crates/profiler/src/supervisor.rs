@@ -45,6 +45,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::board::Profiler;
 use crate::record::RawRecord;
+use crate::recorder::SessionSink;
 
 /// The EE-PAL degradation ladder, most to least permissive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -700,6 +701,10 @@ struct SupervisorState {
     /// observational, so the supervised machine is bit-identical with
     /// or without it.
     journal: Option<SpanLog>,
+    /// Live subscriber (the flight recorder); like the journal it is
+    /// purely observational — it sees each session/gap at the single
+    /// sites below and never influences the capture machine.
+    sink: Option<Box<dyn SessionSink>>,
 }
 
 /// Stable `arg` encoding for dark-window spans in the journal.
@@ -757,6 +762,9 @@ impl SupervisorState {
                 cause_arg(gap.cause),
             );
         }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.gap(&gap);
+        }
         self.gaps.push(gap);
     }
 
@@ -764,6 +772,9 @@ impl SupervisorState {
     fn deliver(&mut self, session: SupervisedSession) {
         if let Some(m) = &self.metrics {
             m.sessions.inc();
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.session(&session);
         }
         self.sessions.push(session);
     }
@@ -1214,6 +1225,7 @@ impl CaptureSupervisor {
                 finished: false,
                 metrics: None,
                 journal: None,
+                sink: None,
             })),
         }
     }
@@ -1240,6 +1252,16 @@ impl CaptureSupervisor {
         let mut s = self.state.lock();
         s.board.set_span_log(log);
         s.journal = Some(log.clone());
+    }
+
+    /// Subscribes a live consumer (the flight recorder) to the capture
+    /// stream: `sink` sees every delivered session and every gap at the
+    /// same single sites that feed the Coverage ledger.  Purely
+    /// observational — the supervised run is bit-identical with or
+    /// without a sink.  One sink at a time; a second call replaces the
+    /// first.
+    pub fn set_session_sink(&self, sink: Box<dyn SessionSink>) {
+        self.state.lock().sink = Some(sink);
     }
 
     /// The current mask level.

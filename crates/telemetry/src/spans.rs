@@ -68,6 +68,8 @@ pub enum SpanTrack {
     /// Raw profiler board: drains and overflows seen outside a
     /// supervisor.
     Board,
+    /// Flight recorder: window rollup lifetimes and evictions.
+    Recorder,
 }
 
 impl SpanTrack {
@@ -78,6 +80,7 @@ impl SpanTrack {
             SpanTrack::Transport => "transport",
             SpanTrack::Analyzer => "analyzer",
             SpanTrack::Board => "board",
+            SpanTrack::Recorder => "recorder",
         }
     }
 
@@ -88,6 +91,7 @@ impl SpanTrack {
             SpanTrack::Transport => 1,
             SpanTrack::Analyzer => 2,
             SpanTrack::Board => 3,
+            SpanTrack::Recorder => 4,
         }
     }
 }
@@ -133,6 +137,12 @@ pub enum SpanName {
     Drain,
     /// Raw board overflow (`id` = overflow ordinal).
     Overflow,
+    /// One flight-recorder rollup window (`id` = window index; `arg`
+    /// on End = session fragments folded into it).
+    Window,
+    /// A window evicted from the recorder ring (`id` = window index,
+    /// `arg` = its clipped span in µs).
+    Evict,
 }
 
 impl SpanName {
@@ -153,6 +163,8 @@ impl SpanName {
             SpanName::Analyze => "analyze",
             SpanName::Drain => "drain",
             SpanName::Overflow => "overflow",
+            SpanName::Window => "window",
+            SpanName::Evict => "evict",
         }
     }
 }
@@ -175,13 +187,14 @@ pub struct SpanEvent {
 }
 
 const PHASES: [SpanPhase; 3] = [SpanPhase::Begin, SpanPhase::End, SpanPhase::Instant];
-const TRACKS: [SpanTrack; 4] = [
+const TRACKS: [SpanTrack; 5] = [
     SpanTrack::Supervisor,
     SpanTrack::Transport,
     SpanTrack::Analyzer,
     SpanTrack::Board,
+    SpanTrack::Recorder,
 ];
-const NAMES: [SpanName; 14] = [
+const NAMES: [SpanName; 16] = [
     SpanName::Bank,
     SpanName::Dark,
     SpanName::Rearm,
@@ -196,6 +209,8 @@ const NAMES: [SpanName; 14] = [
     SpanName::Analyze,
     SpanName::Drain,
     SpanName::Overflow,
+    SpanName::Window,
+    SpanName::Evict,
 ];
 
 fn encode(phase: SpanPhase, track: SpanTrack, name: SpanName) -> u64 {
@@ -475,7 +490,10 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(SpanTrack::Supervisor.label(), "supervisor");
         assert_eq!(SpanTrack::Board.idx(), 3);
+        assert_eq!(SpanTrack::Recorder.idx(), 4);
         assert_eq!(SpanName::MaskDown.label(), "mask down");
         assert_eq!(SpanName::Analyze.label(), "analyze");
+        assert_eq!(SpanName::Window.label(), "window");
+        assert_eq!(SpanName::Evict.label(), "evict");
     }
 }

@@ -38,8 +38,8 @@ fn one_scenario_runs_under_all_four_backends() {
             cap.profile.total_elapsed > 0,
             "{name} normalized to an empty profile"
         );
-        // Every backend's output drives the same exporter unchanged.
-        let trace = cap.export().chrome_trace();
+        // Every backend's output drives the same unified Profile view.
+        let trace = cap.as_profile().chrome_trace();
         assert!(trace.contains("traceEvents"), "{name} export broke");
         seen.push(name);
     }

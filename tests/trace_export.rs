@@ -17,7 +17,7 @@ use hwprof::analysis::{decode_recovering, reconstruct_session_recovering, Recons
 use hwprof::profiler::{parse_raw_lossy, serialize_raw, BoardConfig, RawRecord};
 use hwprof::tagfile::{TagFile, TagKind};
 use hwprof::{
-    scenarios, validate_json, Experiment, Exporter, JsonValue, SpanLog, SupervisedCapture,
+    scenarios, validate_json, Experiment, JsonValue, Profile, SpanLog, SupervisedCapture,
     SupervisorPolicy,
 };
 
@@ -85,7 +85,7 @@ fn figure4() -> Reconstruction {
 #[test]
 fn figure4_chrome_trace_matches_golden() {
     let r = figure4();
-    let chrome = Exporter::new(&r).name("figure 4").chrome_trace();
+    let chrome = Profile::new(&r).name("figure 4").chrome_trace();
     validate_json(&chrome).expect("chrome export is valid JSON");
     check("figure4_trace.json", &chrome);
 }
@@ -93,7 +93,7 @@ fn figure4_chrome_trace_matches_golden() {
 #[test]
 fn figure4_speedscope_matches_golden() {
     let r = figure4();
-    let ss = Exporter::new(&r).name("figure 4").speedscope();
+    let ss = Profile::new(&r).name("figure 4").speedscope();
     validate_json(&ss).expect("speedscope export is valid JSON");
     check("figure4.speedscope.json", &ss);
 }
@@ -101,7 +101,7 @@ fn figure4_speedscope_matches_golden() {
 #[test]
 fn figure4_folded_matches_golden() {
     let r = figure4();
-    let folded = Exporter::new(&r).folded();
+    let folded = Profile::new(&r).folded();
     let total: u64 = folded
         .lines()
         .filter_map(|l| l.rsplit(' ').next())
@@ -140,7 +140,7 @@ fn supervised_export_is_one_unified_timeline() {
     assert!(!cap.run.sessions.is_empty());
     assert!(!log.is_empty(), "journal must have recorded pipeline spans");
 
-    let chrome = cap.export().name("supervised").chrome_trace();
+    let chrome = cap.as_profile().name("supervised").chrome_trace();
     let parsed = validate_json(&chrome).expect("chrome export is valid JSON");
     let events = parsed
         .get("traceEvents")
@@ -199,8 +199,8 @@ fn journal_is_observationally_pure() {
     assert_eq!(with.run.gaps, without.run.gaps);
     assert_eq!(with.run.coverage, without.run.coverage);
     assert_eq!(
-        with.export().folded(),
-        without.export().folded(),
+        with.as_profile().folded(),
+        without.as_profile().folded(),
         "journal must not perturb the profile"
     );
 }
@@ -208,7 +208,7 @@ fn journal_is_observationally_pure() {
 #[test]
 fn folded_total_matches_net_accounting_supervised() {
     let cap = supervised(None);
-    let folded = cap.export().folded();
+    let folded = cap.as_profile().folded();
     let total: u64 = folded
         .lines()
         .filter_map(|l| l.rsplit(' ').next())
