@@ -37,6 +37,7 @@ use hwprof_telemetry::{SpanEvent, SpanLog, SpanName, SpanPhase, SpanTrack};
 
 use crate::events::SymId;
 use crate::recon::{ItemKind, Reconstruction, TraceItem};
+use crate::sentinel::AlertEntry;
 
 /// Synthetic pid of the coverage/anomaly overlay process.
 const OVERLAY_PID: u64 = 0;
@@ -50,6 +51,7 @@ pub struct Exporter<'a> {
     r: &'a Reconstruction,
     run: Option<&'a SupervisedRun>,
     spans: Vec<SpanEvent>,
+    alerts: Vec<AlertEntry>,
     name: String,
 }
 
@@ -60,6 +62,7 @@ impl<'a> Exporter<'a> {
             r,
             run: None,
             spans: Vec::new(),
+            alerts: Vec::new(),
             name: "hwprof".to_string(),
         }
     }
@@ -85,6 +88,15 @@ impl<'a> Exporter<'a> {
         self.span_events(events)
     }
 
+    /// Attaches sentinel alert-journal entries; they render as instant
+    /// markers on a dedicated overlay lane in the Chrome trace.  An
+    /// empty slice leaves every output byte-identical to an exporter
+    /// with no alerts attached.
+    pub fn alerts(mut self, entries: &[AlertEntry]) -> Self {
+        self.alerts = entries.to_vec();
+        self
+    }
+
     /// Like [`Exporter::spans`], from an already-snapshotted event list.
     pub fn span_events(mut self, mut events: Vec<SpanEvent>) -> Self {
         // Concurrent writers (analysis workers) make the journal's slot
@@ -104,10 +116,12 @@ impl<'a> Exporter<'a> {
         r: &'a Reconstruction,
         run: Option<&'a SupervisedRun>,
         spans: Vec<SpanEvent>,
+        alerts: Vec<AlertEntry>,
         name: &str,
     ) -> Self {
         let mut ex = Exporter::new(r).name(name).span_events(spans);
         ex.run = run;
+        ex.alerts = alerts;
         ex
     }
 
@@ -174,6 +188,9 @@ impl<'a> Exporter<'a> {
         // Metadata: name every process and thread lane up front.
         ev.push(meta_process(OVERLAY_PID, "capture timeline"));
         ev.push(meta_thread(OVERLAY_PID, 0, "coverage"));
+        if !self.alerts.is_empty() {
+            ev.push(meta_thread(OVERLAY_PID, 1, "alerts"));
+        }
         let mut named_session = usize::MAX;
         for &(session, lane) in lanes.keys() {
             if session != named_session {
@@ -309,6 +326,24 @@ impl<'a> Exporter<'a> {
             ev.push(format!(
                 "{{\"ph\":\"C\",\"pid\":{OVERLAY_PID},\"tid\":0,\"ts\":{ts},\
                  \"name\":\"anomalies\",\"args\":{counters}}}",
+            ));
+        }
+
+        // Sentinel alert transitions as instant markers on their own
+        // overlay lane, in journal order.
+        for a in &self.alerts {
+            ev.push(instant(
+                OVERLAY_PID,
+                1,
+                a.at_us.saturating_sub(base),
+                &format!(
+                    "{} {}({}) delta {:+} {}",
+                    a.transition.label(),
+                    a.detector.label(),
+                    esc(&a.subject),
+                    a.delta,
+                    a.detector.unit(),
+                ),
             ));
         }
 

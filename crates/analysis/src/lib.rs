@@ -32,6 +32,7 @@ mod proptests;
 pub mod recon;
 pub mod recorder;
 pub mod report;
+pub mod sentinel;
 pub mod stitch;
 pub mod stream;
 pub mod trace;
@@ -51,6 +52,10 @@ pub use recon::{
 };
 pub use recorder::{DiffRow, FlightRecorder, RecorderLedger, WindowDiff, WindowRollup};
 pub use report::{fmt_us, summary_report};
+pub use sentinel::{
+    AlertEntry, AlertJournal, AlertTransition, Baseline, Detector, FleetAlert, FleetSentinel,
+    Sentinel, SentinelConfig, SentinelConfigBuilder, SentinelConfigError,
+};
 pub use stitch::{
     scale_factor, scaled_calls, stitch_events, visibility, visible_us, MaskVisibility,
 };

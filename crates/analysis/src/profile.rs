@@ -30,6 +30,7 @@ use crate::events::SymId;
 use crate::export::Exporter;
 use crate::recon::Reconstruction;
 use crate::report::{fmt_us, summary_report};
+use crate::sentinel::AlertEntry;
 
 /// A borrowed, render-ready view over one reconstruction.
 #[derive(Debug, Clone)]
@@ -37,6 +38,7 @@ pub struct Profile<'a> {
     r: &'a Reconstruction,
     run: Option<&'a SupervisedRun>,
     spans: Vec<SpanEvent>,
+    alerts: Vec<AlertEntry>,
     name: String,
 }
 
@@ -47,6 +49,7 @@ impl<'a> Profile<'a> {
             r,
             run: None,
             spans: Vec::new(),
+            alerts: Vec::new(),
             name: "hwprof".to_string(),
         }
     }
@@ -75,6 +78,15 @@ impl<'a> Profile<'a> {
         self
     }
 
+    /// Attaches sentinel alert-journal entries: they render as an
+    /// Alerts section in [`Profile::html`] and as instant markers in
+    /// [`Profile::chrome_trace`].  An empty slice leaves every output
+    /// byte-identical to a profile with no alerts attached.
+    pub fn alerts(mut self, entries: &[AlertEntry]) -> Self {
+        self.alerts = entries.to_vec();
+        self
+    }
+
     /// The underlying reconstruction.
     pub fn reconstruction(&self) -> &'a Reconstruction {
         self.r
@@ -83,7 +95,13 @@ impl<'a> Profile<'a> {
     /// The configured exporter (the escape hatch for callers that want
     /// the builder itself rather than a finished document).
     pub fn exporter(&self) -> Exporter<'a> {
-        Exporter::assemble(self.r, self.run, self.spans.clone(), &self.name)
+        Exporter::assemble(
+            self.r,
+            self.run,
+            self.spans.clone(),
+            self.alerts.clone(),
+            &self.name,
+        )
     }
 
     /// Chrome Trace Event JSON (Perfetto / `chrome://tracing`).
@@ -258,6 +276,33 @@ impl<'a> Profile<'a> {
                 let _ = writeln!(out, "<li>{}</li>", html_esc(&line));
             }
             out.push_str("</ul>\n");
+        }
+        if !self.alerts.is_empty() {
+            out.push_str("<h2>Alerts</h2>\n<table class=\"alerts\">\n");
+            out.push_str(
+                "<tr><th>#</th><th>window</th><th>at us</th><th>detector</th>\
+                 <th>subject</th><th>transition</th><th>baseline</th>\
+                 <th>observed</th><th>delta</th><th>unit</th></tr>\n",
+            );
+            for a in &self.alerts {
+                let _ = writeln!(
+                    out,
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td class=\"fn\">{}</td>\
+                     <td class=\"fn\">{}</td><td class=\"fn\">{}</td><td>{}</td>\
+                     <td>{}</td><td>{:+}</td><td class=\"fn\">{}</td></tr>",
+                    a.seq,
+                    a.window,
+                    a.at_us,
+                    a.detector.label(),
+                    html_esc(&a.subject),
+                    a.transition.label(),
+                    a.baseline,
+                    a.observed,
+                    a.delta,
+                    a.detector.unit(),
+                );
+            }
+            out.push_str("</table>\n");
         }
         out.push_str("</body>\n</html>\n");
         out

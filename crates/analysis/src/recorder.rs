@@ -36,7 +36,7 @@ use hwprof_telemetry::{Counter, Gauge, Registry, SpanLog, SpanName, SpanTrack};
 
 use crate::anomaly::Anomalies;
 use crate::columnar::{ColumnarDecoder, DenseTagTable};
-use crate::events::{Event, Symbols};
+use crate::events::{Event, SymId, Symbols};
 use crate::profile::{html_esc, Profile, HTML_STYLE};
 use crate::recon::{FnAgg, Reconstruction, SessionRecon};
 use crate::report::fmt_us;
@@ -809,6 +809,17 @@ impl FlightRecorder {
     /// The exact eviction ledger at this instant.
     pub fn ledger(&self) -> RecorderLedger {
         self.inner.lock().expect("recorder lock").ledger()
+    }
+
+    /// Per-symbol [`MaskVisibility`], indexed by `SymId` — the same
+    /// classification the scaled diff rates use (hot tags are known
+    /// once the run is sealed; before that every function classifies
+    /// as visible unless switch-only).
+    pub fn visibilities(&self) -> Vec<MaskVisibility> {
+        let inner = self.inner.lock().expect("recorder lock");
+        (0..inner.syms.len() as SymId)
+            .map(|s| mask_visibility(&inner.tf, &inner.hot_tags, inner.syms.name(s)))
+            .collect()
     }
 
     /// Window `w`'s rollup; `None` when `w` was evicted or never

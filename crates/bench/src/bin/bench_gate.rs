@@ -32,7 +32,13 @@ use std::process::ExitCode;
 
 /// The bench binaries the gate covers (their `BENCH_<name>.json`
 /// files must exist in both directories).
-const GATED_BENCHES: &[&str] = &["analysis_throughput", "capture_path", "fleet", "recorder"];
+const GATED_BENCHES: &[&str] = &[
+    "analysis_throughput",
+    "capture_path",
+    "fleet",
+    "recorder",
+    "sentinel",
+];
 
 /// Machine-independent within-run ratios that must hold in the fresh
 /// run: (bench, numerator id, denominator id, minimum ratio).

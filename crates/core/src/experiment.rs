@@ -21,8 +21,8 @@
 //!   [`Reconstruction`].
 
 use hwprof_analysis::{
-    Analyzer, Anomalies, Exporter, FlightRecorder, Profile, Reconstruction, RecorderLedger,
-    StreamAnalyzer, WindowDiff, WindowRollup,
+    Analyzer, Anomalies, Detector, FlightRecorder, Profile, Reconstruction, RecorderLedger,
+    Sentinel, SentinelConfig, StreamAnalyzer, WindowDiff, WindowRollup,
 };
 use hwprof_instrument::{two_stage_link, Compiler, KernelImage, LinkResult, ModuleSelect};
 use hwprof_kernel386::funcs::{KFn, FUNCS, INLINES};
@@ -295,8 +295,8 @@ impl Experiment {
     /// pipeline's per-bank analyze spans, all with simulated
     /// timestamps.  Off by default; the simulated machine is
     /// bit-identical with or without it.  Render the journal alongside
-    /// the kernel timeline with [`SupervisedCapture::export`] /
-    /// [`StreamCapture::export`].
+    /// the kernel timeline through [`SupervisedCapture::as_profile`] /
+    /// [`StreamCapture::as_profile`].
     #[must_use = "builder methods return the updated experiment"]
     pub fn journal(mut self, log: &SpanLog) -> Self {
         self.journal = Some(log.clone());
@@ -708,6 +708,54 @@ impl Experiment {
             journal: p.journal,
         })
     }
+
+    /// Continuous profiling with regression watching: an
+    /// [`Experiment::record`] run whose sealed window stream is then
+    /// evaluated by a deterministic [`Sentinel`] — baseline warm-up,
+    /// the fixed detector set, hysteresis, and an append-only
+    /// [`AlertJournal`](hwprof_analysis::AlertJournal).  Returns a
+    /// [`SentinelHandle`] wrapping the usual [`RecorderHandle`].
+    ///
+    /// The sentinel is a pure read over the recorder: the capture and
+    /// the underlying handle are bit-identical to what `record` with
+    /// the same policy and config produces.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Experiment::record`] reports.
+    pub fn watch(
+        self,
+        policy: SupervisorPolicy,
+        cfg: RecorderConfig,
+        sentinel: SentinelConfig,
+    ) -> Result<SentinelHandle, Error> {
+        let transport: Box<dyn Transport> = Box::new(FlakyTransport::new(
+            MemoryTransport::new(),
+            policy.transport_fail_ppm,
+            policy.seed,
+        ));
+        self.watch_with(policy, transport, cfg, sentinel)
+    }
+
+    /// [`Experiment::watch`] with a caller-supplied [`Transport`].
+    pub fn watch_with(
+        self,
+        policy: SupervisorPolicy,
+        transport: Box<dyn Transport>,
+        cfg: RecorderConfig,
+        sentinel: SentinelConfig,
+    ) -> Result<SentinelHandle, Error> {
+        let handle = self.record_with(policy, transport, cfg)?;
+        let mut sent = Sentinel::new(sentinel);
+        if let Some(reg) = &handle.telemetry {
+            sent.set_telemetry(reg);
+        }
+        sent.scan(&handle.recorder);
+        Ok(SentinelHandle {
+            sentinel: sent,
+            handle,
+        })
+    }
 }
 
 /// The trust gate shared by both capture modes: anomalies per million
@@ -841,13 +889,6 @@ impl BackendCapture {
         }
     }
 
-    /// Delegating wrapper over [`BackendCapture::as_profile`] for
-    /// callers that want the raw [`Exporter`] builder; prefer
-    /// `as_profile()`.
-    pub fn export(&self) -> Exporter<'_> {
-        self.as_profile().exporter()
-    }
-
     /// Fraction of wall time the CPU was busy (from the scheduler, not
     /// the capture).
     pub fn busy_fraction(&self) -> f64 {
@@ -893,13 +934,6 @@ impl StreamCapture {
             Some(log) => p.spans(log),
             None => p,
         }
-    }
-
-    /// Delegating wrapper over [`StreamCapture::as_profile`] for
-    /// callers that want the raw [`Exporter`] builder; prefer
-    /// `as_profile()`.
-    pub fn export(&self) -> Exporter<'_> {
-        self.as_profile().exporter()
     }
 
     /// Fraction of wall time the CPU was busy (from the scheduler, not
@@ -951,13 +985,6 @@ impl SupervisedCapture {
             Some(log) => p.spans(log),
             None => p,
         }
-    }
-
-    /// Delegating wrapper over [`SupervisedCapture::as_profile`] for
-    /// callers that want the raw [`Exporter`] builder; prefer
-    /// `as_profile()`.
-    pub fn export(&self) -> Exporter<'_> {
-        self.as_profile().exporter()
     }
 
     /// A point-in-time snapshot of the run's telemetry registry, when
@@ -1062,13 +1089,6 @@ impl RecorderHandle {
         }
     }
 
-    /// Delegating wrapper over [`RecorderHandle::as_profile`] for
-    /// callers that want the raw [`Exporter`] builder; prefer
-    /// `as_profile()`.
-    pub fn export(&self) -> Exporter<'_> {
-        self.as_profile().exporter()
-    }
-
     /// A point-in-time snapshot of the run's telemetry registry, when
     /// [`Experiment::telemetry`] was configured.
     pub fn metrics(&self) -> Option<Snapshot> {
@@ -1080,6 +1100,56 @@ impl RecorderHandle {
     pub fn busy_fraction(&self) -> f64 {
         let total = self.kernel.machine.now.max(1);
         1.0 - self.kernel.sched.idle_cycles as f64 / total as f64
+    }
+}
+
+/// What [`Experiment::watch`] produced: the sealed [`Sentinel`] —
+/// baseline, alert journal, firing set — wrapped around the full
+/// [`RecorderHandle`] it evaluated.
+pub struct SentinelHandle {
+    sentinel: Sentinel,
+    handle: RecorderHandle,
+}
+
+impl SentinelHandle {
+    /// The sentinel itself: baseline, config, evaluation counters.
+    pub fn sentinel(&self) -> &Sentinel {
+        &self.sentinel
+    }
+
+    /// The underlying recorder handle (bit-identical to what
+    /// [`Experiment::record`] with the same inputs produces).
+    pub fn handle(&self) -> &RecorderHandle {
+        &self.handle
+    }
+
+    /// The append-only alert journal, in evaluation order.
+    pub fn journal(&self) -> &hwprof_analysis::AlertJournal {
+        self.sentinel.journal()
+    }
+
+    /// The (detector, subject) pairs still firing at seal, sorted.
+    pub fn firing(&self) -> Vec<(Detector, String)> {
+        self.sentinel.firing()
+    }
+
+    /// The unified [`Profile`] view over the full-run reconstruction
+    /// with the alert journal attached: HTML grows an Alerts section,
+    /// the Chrome trace grows alert instant markers.
+    pub fn as_profile(&self) -> Profile<'_> {
+        self.handle
+            .as_profile()
+            .alerts(self.sentinel.journal().entries())
+    }
+
+    /// A deterministic text digest of the sentinel state and journal.
+    pub fn describe(&self) -> String {
+        self.sentinel.describe()
+    }
+
+    /// Splits into the sentinel and the recorder handle.
+    pub fn into_parts(self) -> (Sentinel, RecorderHandle) {
+        (self.sentinel, self.handle)
     }
 }
 

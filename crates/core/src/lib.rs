@@ -52,11 +52,12 @@ pub use comparison::{BackendComparison, BackendRow};
 pub use error::Error;
 pub use experiment::{
     build_tagfile, BackendCapture, Capture, Experiment, RecorderHandle, Scenario, ScenarioBuilder,
-    StreamCapture, SupervisedCapture,
+    SentinelHandle, StreamCapture, SupervisedCapture,
 };
 pub use hwprof_analysis::{
-    validate_json, Analyzer, AnalyzerError, Anomalies, Exporter, FlightRecorder, JsonValue,
-    Profile, RecorderLedger, WindowDiff, WindowRollup,
+    validate_json, AlertEntry, AlertJournal, AlertTransition, Analyzer, AnalyzerError, Anomalies,
+    Baseline, Detector, Exporter, FleetAlert, FleetSentinel, FlightRecorder, JsonValue, Profile,
+    RecorderLedger, Sentinel, SentinelConfig, SentinelConfigError, WindowDiff, WindowRollup,
 };
 pub use hwprof_baseline::{CounterModel, SampleProfile};
 pub use hwprof_profiler::{

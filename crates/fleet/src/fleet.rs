@@ -10,8 +10,10 @@
 
 use hwprof::instrument::ModuleSelect;
 use hwprof::{build_tagfile, Error};
-use hwprof_analysis::{Reconstruction, Symbols};
-use hwprof_profiler::{BoardConfig, SupervisorPolicy};
+use hwprof_analysis::{
+    AlertJournal, FleetAlert, FleetSentinel, Reconstruction, SentinelConfig, Symbols,
+};
+use hwprof_profiler::{BoardConfig, RecorderConfig, SupervisorPolicy};
 use hwprof_telemetry::Registry;
 
 use crate::aggregator::{FleetAggregator, MachineIngest};
@@ -50,6 +52,34 @@ pub struct FleetPolicy {
     pub window_us: u64,
     /// Fleet seed; machine seeds derive from it.
     pub seed: u64,
+    /// Per-machine regression watching: `Some` runs every machine
+    /// through `Experiment::watch` (flight recorder + sentinel) and
+    /// rolls member alerts up into the fleet report; `None` (the
+    /// default) leaves the capture path — and the report — exactly as
+    /// it was without sentinels.
+    pub sentinel: Option<FleetSentinelPolicy>,
+}
+
+/// The sentinel knobs of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetSentinelPolicy {
+    /// Per-machine flight-recorder config.
+    pub recorder: RecorderConfig,
+    /// Per-machine sentinel config.
+    pub config: SentinelConfig,
+    /// Machines a (detector, subject) pair must fire on to promote to
+    /// a fleet-level alert.
+    pub quorum: u32,
+}
+
+impl Default for FleetSentinelPolicy {
+    fn default() -> Self {
+        FleetSentinelPolicy {
+            recorder: RecorderConfig::default(),
+            config: SentinelConfig::default(),
+            quorum: 2,
+        }
+    }
 }
 
 impl Default for FleetPolicy {
@@ -67,6 +97,7 @@ impl Default for FleetPolicy {
             quarantine_anomaly_ppm: 500,
             window_us: 2_000_000,
             seed: 0x1993_0617,
+            sentinel: None,
         }
     }
 }
@@ -299,6 +330,7 @@ impl Fleet {
                         coverage: Some(cov),
                         profile,
                         local_profile: Some(summary.profile),
+                        alerts: summary.alerts,
                         shards: ingest.shards,
                         corrupt_shards: ingest.corrupt_shards,
                         dup_shards: ingest.dup_shards,
@@ -326,6 +358,7 @@ impl Fleet {
                         coverage: None,
                         profile: None,
                         local_profile: None,
+                        alerts: AlertJournal::default(),
                         shards: ingest.shards,
                         corrupt_shards: ingest.corrupt_shards,
                         dup_shards: ingest.dup_shards,
@@ -343,11 +376,22 @@ impl Fleet {
             .filter_map(|m| m.profile.as_ref().map(|p| (m.id, p)))
             .collect();
         let outliers: Vec<FleetOutlier> = find_outliers(&members);
+        // Alert roll-up: a pure fold of member journals.  Without a
+        // sentinel policy every journal is empty and so is the fold.
+        let alerts: Vec<FleetAlert> = match &policy.sentinel {
+            Some(sp) => {
+                let journals: Vec<(MachineId, &AlertJournal)> =
+                    machines.iter().map(|m| (m.id, &m.alerts)).collect();
+                FleetSentinel::new(sp.quorum).roll_up(&journals)
+            }
+            None => Vec::new(),
+        };
         Ok(FleetReport {
             profile: fleet_profile,
             coverage,
             machines,
             outliers,
+            alerts,
         })
     }
 }

@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use hwprof::scenarios;
 use hwprof::{Error, Experiment, Scenario};
-use hwprof_analysis::Reconstruction;
+use hwprof_analysis::{AlertJournal, Reconstruction};
 use hwprof_profiler::{
     Coverage, FlakyTransport, RawRecord, SupervisorPolicy, TagMaskLevel, Transport, TransportError,
 };
@@ -121,6 +121,9 @@ pub struct MachineSummary {
     /// the per-machine oracle the aggregator's merge is checked
     /// against bit for bit.
     pub profile: Reconstruction,
+    /// The machine's sentinel alert journal; empty unless the fleet
+    /// policy configured a sentinel.
+    pub alerts: AlertJournal,
 }
 
 /// What came back from a machine's worker thread.
@@ -242,9 +245,23 @@ pub(crate) fn run_machine(
         min_coverage_ppm: 0,
         ..policy.supervisor.clone()
     };
-    let capture = match experiment.supervised_with(sup_policy, transport) {
-        Ok(capture) => capture,
-        Err(e) => return MachineOutcome::Failed(e),
+    // With a sentinel policy the machine runs the watch path (flight
+    // recorder + sentinel scan over the sealed windows); without one
+    // it runs plain supervised capture.  Either way the simulated
+    // machine and its uplink traffic are bit-identical: the recorder
+    // and sentinel are host-side readers of the same capture stream.
+    let (run, profile, alerts) = match &policy.sentinel {
+        Some(sp) => match experiment.watch_with(sup_policy, transport, sp.recorder, sp.config) {
+            Ok(watch) => {
+                let (sentinel, handle) = watch.into_parts();
+                (handle.run, handle.profile, sentinel.journal().clone())
+            }
+            Err(e) => return MachineOutcome::Failed(e),
+        },
+        None => match experiment.supervised_with(sup_policy, transport) {
+            Ok(capture) => (capture.run, capture.profile, AlertJournal::default()),
+            Err(e) => return MachineOutcome::Failed(e),
+        },
     };
     let mut shared = shared.lock().expect("uplink state");
     if crash_after.is_some() {
@@ -253,11 +270,12 @@ pub(crate) fn run_machine(
         };
     }
     let summary = MachineSummary {
-        coverage: capture.run.coverage,
+        coverage: run.coverage,
         shards_sent: shared.sent,
-        final_level: capture.run.final_level,
+        final_level: run.final_level,
         drain_lag_us: straggle_delay.unwrap_or(0),
-        profile: capture.profile,
+        profile,
+        alerts,
     };
     if straggle_delay.is_some() {
         MachineOutcome::Straggling {

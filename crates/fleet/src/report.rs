@@ -12,7 +12,7 @@
 //! order or aggregator worker count.
 
 use hwprof::Error;
-use hwprof_analysis::{fmt_us, Reconstruction};
+use hwprof_analysis::{fmt_us, AlertJournal, FleetAlert, Reconstruction};
 use hwprof_profiler::{Coverage, FleetHealthReport};
 use hwprof_telemetry::Snapshot;
 
@@ -89,6 +89,10 @@ pub struct MachineReport {
     /// whenever a final report arrived, even for Quarantined machines
     /// (useful for forensics; never merged into the fleet profile).
     pub local_profile: Option<Reconstruction>,
+    /// The machine's sentinel alert journal — empty unless the fleet
+    /// policy configured a sentinel (and always empty for Lost
+    /// machines, whose journals die with them).
+    pub alerts: AlertJournal,
     /// Shards the aggregator decoded and folded for this machine.
     pub shards: u64,
     /// Shards the aggregator rejected as corrupt.
@@ -135,6 +139,9 @@ pub struct FleetReport {
     pub machines: Vec<MachineReport>,
     /// Cross-machine variance outliers among included machines.
     pub outliers: Vec<FleetOutlier>,
+    /// Fleet-level sentinel roll-up: detectors firing across machines
+    /// (empty unless the policy configured a sentinel).
+    pub alerts: Vec<FleetAlert>,
 }
 
 impl FleetReport {
@@ -230,6 +237,14 @@ impl FleetReport {
                     "  {:<14} m{:<3} {:>6.2}% vs fleet mean {:>6.2}% ({:.1} sigma)",
                     o.function, o.machine, o.machine_pct, o.fleet_mean_pct, o.sigma
                 );
+            }
+        }
+        // Rendered only when a sentinel produced alerts, so runs
+        // without one keep the pre-sentinel report bytes.
+        if !self.alerts.is_empty() {
+            let _ = writeln!(out, "fleet alerts:");
+            for a in &self.alerts {
+                let _ = writeln!(out, "  {}", a.describe_line());
             }
         }
         out

@@ -16,12 +16,14 @@ pub mod btree;
 pub mod exporter;
 pub mod linear;
 pub mod oid;
+pub mod traps;
 
 pub use agent::{snmp_agent_program, SnmpClientHost, AGENT_PORT};
 pub use btree::BtreeMib;
 pub use exporter::{walk_subtree, MibExporter, MibLegend};
 pub use linear::LinearMib;
 pub use oid::Oid;
+pub use traps::{unzigzag, zigzag, TrapExporter, TrapLegend, TrapRow, TRAPS_ARC};
 
 /// A MIB store: OID-keyed values with SNMP get / get-next semantics.
 ///
